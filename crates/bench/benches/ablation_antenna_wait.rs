@@ -1,0 +1,11 @@
+//! Ablation — opportunistic antenna-selection wait window (§3.2.3).
+use midas::experiment::ablation_antenna_wait;
+use midas_bench::BENCH_SEED;
+
+fn main() {
+    println!("# wait window (us)\tfraction of accesses gaining an antenna");
+    for (w, frac) in ablation_antenna_wait(&[0, 9, 18, 34, 68, 136], 20_000, BENCH_SEED) {
+        println!("{w}\t{frac:.3}");
+    }
+    println!("# MIDAS uses one DIFS (34 us): most of the benefit at minimal extra air-time");
+}

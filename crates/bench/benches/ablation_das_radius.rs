@@ -1,0 +1,12 @@
+//! Ablation — DAS antenna placement radius (§7 recommends 50-75% of coverage).
+use midas::experiment::ablation_das_radius;
+use midas_bench::BENCH_SEED;
+
+fn main() {
+    println!("# radius band (fraction of coverage range)\tmedian 4x4 capacity (bit/s/Hz)");
+    let bands = [(0.05, 0.15), (0.2, 0.35), (0.35, 0.5), (0.5, 0.75), (0.75, 0.95)];
+    for ((lo, hi), cap) in ablation_das_radius(&bands, 25, BENCH_SEED) {
+        println!("{lo:.2}-{hi:.2}\t{cap:.2}");
+    }
+    println!("# too close degenerates to CAS, too far hurts links; the sweet spot is mid-range");
+}

@@ -1,0 +1,11 @@
+//! Ablation — how many antennas each client's packets are tagged with (§3.2.4).
+use midas::experiment::ablation_tag_width;
+use midas_bench::BENCH_SEED;
+
+fn main() {
+    println!("# tag width\tmean 3-AP MIDAS network capacity (bit/s/Hz)");
+    for (w, cap) in ablation_tag_width(&[1, 2, 3, 4], 6, BENCH_SEED) {
+        println!("{w}\t{cap:.2}");
+    }
+    println!("# paper: two tags per client balances utilisation and link quality at medium density");
+}

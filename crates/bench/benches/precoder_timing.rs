@@ -1,0 +1,37 @@
+//! Criterion timing of the precoders (the paper's "lightweight" claim, §3.1.2).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use midas_channel::geometry::{Point, Rect};
+use midas_channel::topology::{single_ap, TopologyConfig};
+use midas_channel::{ChannelModel, Environment, SimRng};
+use midas_phy::precoder::{NaiveScaledPrecoder, OptimalPrecoder, PowerBalancedPrecoder, Precoder, ZfbfPrecoder};
+
+fn channel(n: usize) -> midas_channel::ChannelMatrix {
+    let mut rng = SimRng::new(n as u64);
+    let topo = single_ap(&TopologyConfig::das(n, n), Rect::new(Point::new(0.0, 0.0), 40.0, 40.0), &mut rng);
+    let mut model = ChannelModel::new(Environment::office_a(), n as u64);
+    let clients = topo.clients_of(0);
+    model.realize(&topo.aps[0], &clients)
+}
+
+fn bench_precoders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("precoder");
+    for n in [2usize, 4, 8] {
+        let ch = channel(n);
+        group.bench_with_input(BenchmarkId::new("zfbf", n), &ch, |b, ch| {
+            b.iter(|| ZfbfPrecoder.precode_channel(ch))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_scaled", n), &ch, |b, ch| {
+            b.iter(|| NaiveScaledPrecoder.precode_channel(ch))
+        });
+        group.bench_with_input(BenchmarkId::new("power_balanced", n), &ch, |b, ch| {
+            b.iter(|| PowerBalancedPrecoder::default().precode_channel(ch))
+        });
+        group.bench_with_input(BenchmarkId::new("optimal_dual_ascent", n), &ch, |b, ch| {
+            b.iter(|| OptimalPrecoder::with_iterations(500).precode_channel(ch))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_precoders);
+criterion_main!(benches);

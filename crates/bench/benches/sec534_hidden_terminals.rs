@@ -1,0 +1,15 @@
+//! §5.3.4 — hidden-terminal spots removed by the DAS deployment.
+use midas::experiment::sec534_hidden_terminals;
+use midas_bench::BENCH_SEED;
+
+fn main() {
+    let results = sec534_hidden_terminals(10, BENCH_SEED);
+    println!("# sec5.3.4: deployment\tCAS hidden spots\tDAS hidden spots\ttotal spots");
+    let (mut cas, mut das) = (0usize, 0usize);
+    for (i, r) in results.iter().enumerate() {
+        println!("{i}\t{}\t{}\t{}", r.cas_spots, r.das_spots, r.total_spots);
+        cas += r.cas_spots;
+        das += r.das_spots;
+    }
+    println!("# sec5.3.4: aggregate hidden-terminal reduction = {:.1}% (paper: ~94%)", 100.0 * (1.0 - das as f64 / cas.max(1) as f64));
+}

@@ -1,0 +1,38 @@
+//! Shared helpers for the MIDAS benchmark harness.
+//!
+//! Each bench target in `benches/` regenerates one table or figure of the
+//! paper by calling the corresponding runner in `midas::experiment` and
+//! printing (i) the raw series the figure plots and (ii) the summary
+//! statistic the paper quotes in the text, so the output can be compared
+//! against the publication side by side.
+
+use midas_net::metrics::Cdf;
+
+/// Default seed used by every bench so results are reproducible run-to-run.
+pub const BENCH_SEED: u64 = 0x11DA5;
+
+/// Prints a labelled CDF as `value<TAB>probability` rows (down-sampled).
+pub fn print_cdf(label: &str, samples: &[f64]) {
+    let cdf = Cdf::new(samples);
+    println!("# CDF: {label} (n={})", cdf.len());
+    print!("{}", cdf.to_rows(25));
+    println!(
+        "# {label}: median={:.3} mean={:.3} p10={:.3} p90={:.3}",
+        cdf.median(),
+        cdf.mean(),
+        cdf.quantile(0.1),
+        cdf.quantile(0.9)
+    );
+}
+
+/// Prints the headline "A vs B" median comparison the paper quotes.
+pub fn print_median_gain(label: &str, baseline: &[f64], improved: &[f64]) {
+    let b = Cdf::new(baseline).median();
+    let i = Cdf::new(improved).median();
+    println!(
+        "# {label}: baseline median={:.3}, MIDAS median={:.3}, median gain={:.1}%",
+        b,
+        i,
+        (i / b - 1.0) * 100.0
+    );
+}

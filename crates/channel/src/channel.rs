@@ -1,0 +1,483 @@
+//! Downlink channel matrix generation and link-budget computations.
+//!
+//! The composite complex gain of the link from AP antenna `k` to client `j`
+//! is modelled as
+//!
+//! ```text
+//! h_jk = g_jk * f_jk,
+//! g_jk = 10^(-(PL(d_jk) + X_jk) / 20)      (large-scale amplitude gain)
+//! f_jk ~ Rayleigh or Rician, unit power    (small-scale fading)
+//! ```
+//!
+//! where `PL` is the log-distance path loss, `X` the per-link log-normal
+//! shadowing and `d_jk` the antenna-to-client distance.  Received power for a
+//! transmit power `P` is then `P * |h_jk|^2`, which is the convention the
+//! SINR expressions of the paper (Eqn. 4) assume.
+//!
+//! The "average received signal strength from the different antennas" that
+//! drives MIDAS's virtual packet tagging (§3.2.4) is the large-scale part
+//! only (`g_jk`), because fading averages out over the measurement window.
+
+use crate::environment::Environment;
+use crate::fading;
+use crate::geometry::Point;
+use crate::rng::SimRng;
+use crate::topology::{Client, Deployment};
+use crate::{dbm_to_mw, mw_to_dbm};
+use midas_linalg::{CMat, Complex};
+
+/// Per-link statistics of a single antenna → client link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkStats {
+    /// Distance in metres.
+    pub distance_m: f64,
+    /// Mean (large-scale) received power in dBm at the environment's
+    /// per-antenna transmit power.
+    pub mean_rssi_dbm: f64,
+    /// Mean SNR in dB implied by the noise floor.
+    pub mean_snr_db: f64,
+}
+
+/// A channel realisation between one AP's antennas and a set of clients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelMatrix {
+    /// Composite complex amplitude gains, `clients × antennas`.
+    pub h: CMat,
+    /// Large-scale amplitude gains (path loss + shadowing, no fading),
+    /// `clients × antennas`, linear amplitude (not dB).
+    pub large_scale: Vec<Vec<f64>>,
+    /// Per-antenna transmit power constraint, mW.
+    pub tx_power_mw: f64,
+    /// Noise power, mW.
+    pub noise_mw: f64,
+}
+
+impl ChannelMatrix {
+    /// Number of clients (rows).
+    pub fn num_clients(&self) -> usize {
+        self.h.rows()
+    }
+
+    /// Number of AP antennas (columns).
+    pub fn num_antennas(&self) -> usize {
+        self.h.cols()
+    }
+
+    /// Mean (large-scale) received power in dBm at client `j` from antenna `k`
+    /// when that antenna transmits at the per-antenna power.
+    pub fn mean_rssi_dbm(&self, client: usize, antenna: usize) -> f64 {
+        let g = self.large_scale[client][antenna];
+        mw_to_dbm(self.tx_power_mw * g * g)
+    }
+
+    /// Instantaneous SNR in dB of the SISO link client `j` ← antenna `k`
+    /// (single antenna transmitting at full per-antenna power).
+    pub fn siso_snr_db(&self, client: usize, antenna: usize) -> f64 {
+        let p_rx = self.tx_power_mw * self.h.get(client, antenna).norm_sqr();
+        10.0 * (p_rx / self.noise_mw).log10()
+    }
+
+    /// Antenna indices sorted by decreasing mean RSSI for the given client —
+    /// the "preference list" used by virtual packet tagging.
+    pub fn antenna_preference(&self, client: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.num_antennas()).collect();
+        idx.sort_by(|&a, &b| {
+            self.large_scale[client][b]
+                .partial_cmp(&self.large_scale[client][a])
+                .unwrap()
+        });
+        idx
+    }
+
+    /// Restricts the realisation to a subset of clients and antennas
+    /// (in the given order).
+    pub fn select(&self, clients: &[usize], antennas: &[usize]) -> ChannelMatrix {
+        let h = self.h.select(clients, antennas);
+        let large_scale = clients
+            .iter()
+            .map(|&c| antennas.iter().map(|&a| self.large_scale[c][a]).collect())
+            .collect();
+        ChannelMatrix {
+            h,
+            large_scale,
+            tx_power_mw: self.tx_power_mw,
+            noise_mw: self.noise_mw,
+        }
+    }
+}
+
+/// Decorrelation distance (metres) of small-scale fading across antennas:
+/// the fading correlation between two antennas is `exp(-d / this)`.  At
+/// half-wavelength CAS spacing (~3 cm) the correlation is ≈ 0.94; at DAS
+/// spacings of several metres it is essentially zero.
+const FADING_DECORRELATION_M: f64 = 0.5;
+
+/// Lower-triangular Cholesky factor of the antenna fading-correlation matrix
+/// `R[k][l] = exp(-d(k, l) / FADING_DECORRELATION_M)`.
+fn antenna_correlation_cholesky(antennas: &[Point]) -> Vec<Vec<f64>> {
+    let n = antennas.len();
+    let mut r = vec![vec![0.0f64; n]; n];
+    for k in 0..n {
+        for l in 0..n {
+            let d = antennas[k].distance(&antennas[l]);
+            r[k][l] = (-d / FADING_DECORRELATION_M).exp();
+        }
+        // Tiny diagonal jitter keeps the factorisation stable when antennas
+        // coincide exactly.
+        r[k][k] += 1e-9;
+    }
+    let mut l_mat = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = r[i][j];
+            for p in 0..j {
+                sum -= l_mat[i][p] * l_mat[j][p];
+            }
+            if i == j {
+                l_mat[i][j] = sum.max(1e-12).sqrt();
+            } else {
+                l_mat[i][j] = sum / l_mat[j][j];
+            }
+        }
+    }
+    l_mat
+}
+
+/// Spatial grid size (metres) over which shadowing is fully correlated.
+///
+/// Two transmit positions falling in the same grid cell see the *same*
+/// shadowing realisation towards a given receiver cell, so the co-located
+/// antennas of a CAS AP share one shadowing value (as they do physically),
+/// while DAS antennas several metres apart get independent values.  This is a
+/// coarse but standard decorrelation-distance model.
+const SHADOWING_CELL_M: f64 = 2.0;
+
+/// Stateful channel generator bound to one environment.
+#[derive(Debug, Clone)]
+pub struct ChannelModel {
+    env: Environment,
+    rng: SimRng,
+    /// Seed of the frozen shadowing field (shared by all links of this model).
+    shadow_field_seed: u64,
+}
+
+impl ChannelModel {
+    /// Creates a channel model for an environment with a deterministic seed.
+    pub fn new(env: Environment, seed: u64) -> Self {
+        ChannelModel {
+            env,
+            rng: SimRng::new(seed).fork(0xC4A77E1),
+            shadow_field_seed: seed ^ 0x51AD0_F1E1D,
+        }
+    }
+
+    /// The environment this model draws from.
+    pub fn environment(&self) -> &Environment {
+        &self.env
+    }
+
+    /// Shadowing (dB) of the link `tx -> rx`, drawn from a frozen spatial
+    /// field: deterministic in the positions, fully correlated within a
+    /// [`SHADOWING_CELL_M`] cell and independent across cells.
+    fn shadowing_db(&self, tx: &Point, rx: &Point) -> f64 {
+        if self.env.shadowing.sigma_db == 0.0 {
+            return 0.0;
+        }
+        let q = |v: f64| (v / SHADOWING_CELL_M).round() as i64;
+        let mut h = self.shadow_field_seed;
+        for coord in [q(tx.x), q(tx.y), q(rx.x), q(rx.y)] {
+            h ^= (coord as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            h = h.rotate_left(23).wrapping_mul(0xBF58476D1CE4E5B9);
+        }
+        let mut link_rng = SimRng::new(h);
+        link_rng.gaussian_with(0.0, self.env.shadowing.sigma_db)
+    }
+
+    /// Large-scale amplitude gain (path loss + frozen shadowing) for a link.
+    fn large_scale_amp(&self, tx: &Point, rx: &Point) -> f64 {
+        let pl_db = self.env.path_loss.path_loss_db(tx.distance(rx));
+        let shadow_db = self.shadowing_db(tx, rx);
+        10f64.powf(-(pl_db + shadow_db) / 20.0)
+    }
+
+    /// Small-scale fading coefficient for a link of the given length.
+    fn sample_fading(&mut self, distance_m: f64) -> Complex {
+        if distance_m <= self.env.los_distance_m {
+            self.env.los_fading.sample(&mut self.rng)
+        } else {
+            self.env.nlos_fading.sample(&mut self.rng)
+        }
+    }
+
+    /// Deterministic mean received power (dBm) at `rx` from a transmitter at
+    /// `tx` using only path loss (no shadowing, no fading).  Used for coarse
+    /// range questions where an expectation is wanted.
+    pub fn mean_rx_power_dbm(&self, tx: &Point, rx: &Point) -> f64 {
+        let pl_db = self.env.path_loss.path_loss_db(tx.distance(rx));
+        self.env.tx_power_dbm - pl_db
+    }
+
+    /// Large-scale received power (dBm) at `rx` from a transmitter at `tx`:
+    /// path loss plus the frozen shadowing field, no fading.  This is the
+    /// quantity carrier sensing and coverage mapping react to on the
+    /// measurement timescale (fading averages out).
+    pub fn large_scale_rx_power_dbm(&self, tx: &Point, rx: &Point) -> f64 {
+        let amp = self.large_scale_amp(tx, rx);
+        mw_to_dbm(dbm_to_mw(self.env.tx_power_dbm) * amp * amp)
+    }
+
+    /// One random received-power sample (dBm) at `rx` from a transmitter at
+    /// `tx`, including shadowing and fading.  Used for dead-zone and
+    /// hidden-terminal maps, which the paper builds from measurements.
+    pub fn sample_rx_power_dbm(&mut self, tx: &Point, rx: &Point) -> f64 {
+        let d = tx.distance(rx);
+        let amp = self.large_scale_amp(tx, rx) * self.sample_fading(d).norm();
+        mw_to_dbm(dbm_to_mw(self.env.tx_power_dbm) * amp * amp)
+    }
+
+    /// Statistics of the SISO link from one antenna position to one client position.
+    pub fn link_stats(&self, antenna: &Point, client: &Point) -> LinkStats {
+        let d = antenna.distance(client);
+        let pl_db = self.env.path_loss.path_loss_db(d);
+        let rssi = self.env.tx_power_dbm - pl_db;
+        LinkStats {
+            distance_m: d,
+            mean_rssi_dbm: rssi,
+            mean_snr_db: rssi - self.env.noise_floor_dbm,
+        }
+    }
+
+    /// Generates a full channel realisation between one AP's antennas and the
+    /// given clients.
+    pub fn realize(&mut self, ap: &Deployment, clients: &[&Client]) -> ChannelMatrix {
+        let positions: Vec<Point> = clients.iter().map(|c| c.position).collect();
+        self.realize_positions(&ap.antennas, &positions)
+    }
+
+    /// Generates a channel realisation between arbitrary antenna positions and
+    /// client positions.
+    ///
+    /// Small-scale fading is *spatially correlated across antennas*: two
+    /// antennas separated by centimetres (a CAS array) see nearly the same
+    /// multipath and therefore nearly the same fading towards a given client,
+    /// while antennas metres apart (DAS) fade independently.  This is the
+    /// channel-conditioning difference the paper's "cell capacity" argument
+    /// rests on — a CAS channel matrix is poorly conditioned for MU-MIMO even
+    /// though its entries have similar magnitudes.
+    pub fn realize_positions(&mut self, antennas: &[Point], clients: &[Point]) -> ChannelMatrix {
+        let n_c = clients.len();
+        let n_a = antennas.len();
+        let chol = antenna_correlation_cholesky(antennas);
+        let mut h = CMat::zeros(n_c, n_a);
+        let mut large_scale = vec![vec![0.0; n_a]; n_c];
+        for (j, cpos) in clients.iter().enumerate() {
+            // Correlated scattered components across this client's antennas.
+            let z: Vec<Complex> = (0..n_a).map(|_| fading::sample_cn01(&mut self.rng)).collect();
+            let scattered: Vec<Complex> = (0..n_a)
+                .map(|k| {
+                    (0..=k)
+                        .map(|l| z[l].scale(chol[k][l]))
+                        .fold(Complex::ZERO, |acc, x| acc + x)
+                })
+                .collect();
+            for (k, apos) in antennas.iter().enumerate() {
+                let d = apos.distance(cpos);
+                let g = self.large_scale_amp(apos, cpos);
+                let kind = if d <= self.env.los_distance_m {
+                    self.env.los_fading
+                } else {
+                    self.env.nlos_fading
+                };
+                let f = match kind {
+                    fading::FadingKind::None => Complex::ONE,
+                    fading::FadingKind::Rayleigh => scattered[k],
+                    fading::FadingKind::Rician { k_db } => {
+                        let k_lin = 10f64.powf(k_db / 10.0);
+                        let phase = self.rng.uniform_range(0.0, 2.0 * std::f64::consts::PI);
+                        Complex::from_polar((k_lin / (k_lin + 1.0)).sqrt(), phase)
+                            + scattered[k].scale((1.0 / (k_lin + 1.0)).sqrt())
+                    }
+                };
+                large_scale[j][k] = g;
+                h.set(j, k, f.scale(g));
+            }
+        }
+        ChannelMatrix {
+            h,
+            large_scale,
+            tx_power_mw: dbm_to_mw(self.env.tx_power_dbm),
+            noise_mw: dbm_to_mw(self.env.noise_floor_dbm),
+        }
+    }
+
+    /// Evolves a channel realisation forward by `delay_s` seconds using the
+    /// environment's coherence time (Gauss–Markov small-scale evolution; the
+    /// large-scale part is unchanged).
+    pub fn evolve(&mut self, channel: &ChannelMatrix, delay_s: f64) -> ChannelMatrix {
+        let rho = fading::correlation_for_delay(delay_s, self.env.coherence_time_s);
+        let mut h = channel.h.clone();
+        for j in 0..channel.num_clients() {
+            for k in 0..channel.num_antennas() {
+                let g = channel.large_scale[j][k];
+                if g <= 0.0 {
+                    continue;
+                }
+                // Normalise out the large-scale gain, evolve the unit-power
+                // fading coefficient, re-apply the gain.
+                let f = channel.h.get(j, k).scale(1.0 / g);
+                let f2 = fading::evolve(f, rho, &mut self.rng);
+                h.set(j, k, f2.scale(g));
+            }
+        }
+        ChannelMatrix {
+            h,
+            large_scale: channel.large_scale.clone(),
+            tx_power_mw: channel.tx_power_mw,
+            noise_mw: channel.noise_mw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Rect;
+    use crate::topology::{single_ap, DeploymentKind, TopologyConfig};
+    use crate::Environment;
+
+    fn das_topology(seed: u64) -> (crate::topology::Topology, ChannelModel) {
+        let mut rng = SimRng::new(seed);
+        let cfg = TopologyConfig::das(4, 4);
+        let region = Rect::new(Point::new(0.0, 0.0), 40.0, 40.0);
+        let topo = single_ap(&cfg, region, &mut rng);
+        let model = ChannelModel::new(Environment::office_a(), seed);
+        (topo, model)
+    }
+
+    #[test]
+    fn channel_matrix_has_expected_shape() {
+        let (topo, mut model) = das_topology(1);
+        let clients = topo.clients_of(0);
+        let ch = model.realize(&topo.aps[0], &clients);
+        assert_eq!(ch.num_clients(), 4);
+        assert_eq!(ch.num_antennas(), 4);
+        assert!(ch.h.is_finite());
+    }
+
+    #[test]
+    fn closer_links_have_larger_mean_gain() {
+        let model = ChannelModel::new(Environment::office_a(), 2);
+        let antenna = Point::new(0.0, 0.0);
+        let near = model.link_stats(&antenna, &Point::new(2.0, 0.0));
+        let far = model.link_stats(&antenna, &Point::new(20.0, 0.0));
+        assert!(near.mean_rssi_dbm > far.mean_rssi_dbm);
+        assert!(near.mean_snr_db > far.mean_snr_db);
+    }
+
+    #[test]
+    fn snr_is_positive_at_short_range_in_office_a() {
+        let model = ChannelModel::new(Environment::office_a(), 3);
+        let stats = model.link_stats(&Point::new(0.0, 0.0), &Point::new(5.0, 0.0));
+        assert!(stats.mean_snr_db > 15.0, "SNR {}", stats.mean_snr_db);
+    }
+
+    #[test]
+    fn antenna_preference_is_sorted_by_gain() {
+        let (topo, mut model) = das_topology(4);
+        let clients = topo.clients_of(0);
+        let ch = model.realize(&topo.aps[0], &clients);
+        for j in 0..ch.num_clients() {
+            let pref = ch.antenna_preference(j);
+            assert_eq!(pref.len(), 4);
+            for w in pref.windows(2) {
+                assert!(ch.large_scale[j][w[0]] >= ch.large_scale[j][w[1]]);
+            }
+        }
+    }
+
+    #[test]
+    fn das_channel_is_more_imbalanced_than_cas() {
+        // The core structural property the paper exploits: in DAS the spread
+        // between a client's best and worst antenna gain is much larger than
+        // in CAS.  Compare median dB spreads across topologies.
+        let region = Rect::new(Point::new(0.0, 0.0), 40.0, 40.0);
+        let spreads = |kind: DeploymentKind, seed: u64| -> f64 {
+            let mut rng = SimRng::new(seed);
+            let mut model = ChannelModel::new(Environment::office_a(), seed);
+            let mut all = Vec::new();
+            for _ in 0..30 {
+                let cfg = TopologyConfig {
+                    kind,
+                    ..TopologyConfig::das(4, 4)
+                };
+                let topo = single_ap(&cfg, region, &mut rng);
+                let clients = topo.clients_of(0);
+                let ch = model.realize(&topo.aps[0], &clients);
+                for j in 0..ch.num_clients() {
+                    let gains: Vec<f64> = (0..4).map(|k| ch.mean_rssi_dbm(j, k)).collect();
+                    let max = gains.iter().cloned().fold(f64::MIN, f64::max);
+                    let min = gains.iter().cloned().fold(f64::MAX, f64::min);
+                    all.push(max - min);
+                }
+            }
+            all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            all[all.len() / 2]
+        };
+        let das_spread = spreads(DeploymentKind::Das, 10);
+        let cas_spread = spreads(DeploymentKind::Cas, 10);
+        assert!(
+            das_spread > cas_spread + 3.0,
+            "DAS spread {das_spread:.1} dB should exceed CAS spread {cas_spread:.1} dB"
+        );
+    }
+
+    #[test]
+    fn evolve_with_zero_delay_keeps_channel() {
+        let (topo, mut model) = das_topology(5);
+        let clients = topo.clients_of(0);
+        let ch = model.realize(&topo.aps[0], &clients);
+        let same = model.evolve(&ch, 0.0);
+        assert!(same.h.approx_eq(&ch.h, 1e-12));
+    }
+
+    #[test]
+    fn evolve_with_long_delay_decorrelates() {
+        let (topo, mut model) = das_topology(6);
+        let clients = topo.clients_of(0);
+        let ch = model.realize(&topo.aps[0], &clients);
+        let later = model.evolve(&ch, 10.0); // >> coherence time
+        // Large-scale structure retained, small-scale changed.
+        assert_eq!(later.large_scale, ch.large_scale);
+        assert!(!later.h.approx_eq(&ch.h, 1e-6));
+    }
+
+    #[test]
+    fn select_restricts_rows_and_columns() {
+        let (topo, mut model) = das_topology(7);
+        let clients = topo.clients_of(0);
+        let ch = model.realize(&topo.aps[0], &clients);
+        let sub = ch.select(&[1, 3], &[0, 2]);
+        assert_eq!(sub.num_clients(), 2);
+        assert_eq!(sub.num_antennas(), 2);
+        assert_eq!(sub.h.get(0, 0), ch.h.get(1, 0));
+        assert_eq!(sub.h.get(1, 1), ch.h.get(3, 2));
+        assert_eq!(sub.large_scale[0][1], ch.large_scale[1][2]);
+    }
+
+    #[test]
+    fn sampled_rx_power_scatter_around_mean() {
+        let mut model = ChannelModel::new(Environment::office_a(), 8);
+        let tx = Point::new(0.0, 0.0);
+        let rx = Point::new(10.0, 0.0);
+        let mean = model.mean_rx_power_dbm(&tx, &rx);
+        let n = 4000;
+        let avg: f64 = (0..n)
+            .map(|_| model.sample_rx_power_dbm(&tx, &rx))
+            .sum::<f64>()
+            / n as f64;
+        // Shadowing + fading in dB domain biases the dB-average slightly below
+        // the deterministic mean; just require the samples to be centred in a
+        // plausible band around it.
+        assert!((avg - mean).abs() < 6.0, "avg {avg} vs mean {mean}");
+    }
+}

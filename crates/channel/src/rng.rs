@@ -1,0 +1,257 @@
+//! Deterministic pseudo-random number generation for the simulator.
+//!
+//! Every stochastic component of the reproduction — antenna placement,
+//! shadowing, small-scale fading, MAC backoff — draws from [`SimRng`], a thin
+//! wrapper over a splitmix64/xoshiro-style generator.  Seeding every
+//! experiment makes figures and tests exactly reproducible, and the
+//! `fork`/`stream` helpers give independent sub-streams to independent model
+//! components so that adding draws to one component does not perturb another.
+
+/// A small, fast, deterministic PRNG (xoshiro256** seeded via splitmix64).
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { state }
+    }
+
+    /// Derives an independent generator for a named sub-stream.
+    ///
+    /// The same `(seed, label)` pair always yields the same stream, and
+    /// different labels yield statistically independent streams.
+    pub fn fork(&self, label: u64) -> SimRng {
+        // Mix the current state with the label through splitmix64.
+        let mut sm = self.state[0]
+            ^ self.state[1].rotate_left(17)
+            ^ self.state[2].rotate_left(31)
+            ^ self.state[3].rotate_left(47)
+            ^ label.wrapping_mul(0xA24BAED4963EE407);
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { state }
+    }
+
+    /// Next raw 64-bit value (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn uniform_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "uniform_usize: empty range");
+        // Rejection-free for our purposes: modulo bias is negligible for the
+        // small n used in the simulator, but use 64-bit multiply-shift to
+        // avoid the obvious bias anyway.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn gaussian(&mut self) -> f64 {
+        // Avoid u == 0 so ln() stays finite.
+        let u = loop {
+            let u = self.uniform();
+            if u > 1e-300 {
+                break u;
+            }
+        };
+        let v = self.uniform();
+        (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn gaussian_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.gaussian()
+    }
+
+    /// Exponential sample with the given rate parameter `lambda`.
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        assert!(lambda > 0.0);
+        let u = loop {
+            let u = self.uniform();
+            if u > 1e-300 {
+                break u;
+            }
+        };
+        -u.ln() / lambda
+    }
+
+    /// Returns `true` with probability `p`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.uniform_usize(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Chooses `k` distinct indices out of `0..n` (k <= n), in random order.
+    pub fn choose_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "choose_indices: k > n");
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_gives_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let root = SimRng::new(7);
+        let mut f1 = root.fork(1);
+        let mut f1b = root.fork(1);
+        let mut f2 = root.fork(2);
+        assert_eq!(f1.next_u64(), f1b.next_u64());
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval_and_roughly_uniform() {
+        let mut rng = SimRng::new(3);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_has_unit_variance_and_zero_mean() {
+        let mut rng = SimRng::new(5);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn exponential_has_mean_one_over_lambda() {
+        let mut rng = SimRng::new(9);
+        let n = 50_000;
+        let lambda = 2.5;
+        let mean = (0..n).map(|_| rng.exponential(lambda)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / lambda).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_usize_covers_range_without_out_of_bounds() {
+        let mut rng = SimRng::new(11);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.uniform_usize(7);
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn choose_indices_returns_distinct_values() {
+        let mut rng = SimRng::new(13);
+        for _ in 0..50 {
+            let picked = rng.choose_indices(10, 4);
+            assert_eq!(picked.len(), 4);
+            let mut sorted = picked.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "duplicates in {picked:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut rng = SimRng::new(17);
+        let mut v: Vec<u32> = (0..20).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn bernoulli_respects_probability() {
+        let mut rng = SimRng::new(19);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| rng.bernoulli(0.3)).count();
+        let p = hits as f64 / n as f64;
+        assert!((p - 0.3).abs() < 0.02, "p {p}");
+    }
+}

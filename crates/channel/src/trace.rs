@@ -1,0 +1,214 @@
+//! Channel trace recording and replay.
+//!
+//! Several of the paper's results (Figs. 3, 11 and 16) are produced by
+//! "trace-based simulation": channel state measured on the testbed is
+//! recorded and then replayed through the precoding algorithms offline.  This
+//! module provides the equivalent machinery: a [`ChannelTrace`] is an ordered
+//! collection of channel realisations that can be saved to / loaded from a
+//! simple CSV-like text format and replayed deterministically.
+
+use crate::channel::ChannelMatrix;
+use midas_linalg::{CMat, Complex};
+use std::fmt::Write as _;
+
+/// A single recorded channel snapshot with an identifying topology index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Index of the topology this snapshot belongs to.
+    pub topology_id: usize,
+    /// The recorded channel realisation.
+    pub channel: ChannelMatrix,
+}
+
+/// An ordered collection of channel snapshots.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChannelTrace {
+    entries: Vec<TraceEntry>,
+}
+
+impl ChannelTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        ChannelTrace { entries: Vec::new() }
+    }
+
+    /// Appends a snapshot.
+    pub fn record(&mut self, topology_id: usize, channel: ChannelMatrix) {
+        self.entries.push(TraceEntry { topology_id, channel });
+    }
+
+    /// Number of recorded snapshots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the snapshots in recording order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Returns the snapshot at the given position.
+    pub fn get(&self, idx: usize) -> Option<&TraceEntry> {
+        self.entries.get(idx)
+    }
+
+    /// Serialises the trace to a line-oriented text format.
+    ///
+    /// Format (one entry per block):
+    /// ```text
+    /// entry,<topology_id>,<clients>,<antennas>,<tx_power_mw>,<noise_mw>
+    /// h,<re>,<im>,...                 (clients*antennas values, row major)
+    /// g,<amp>,...                     (clients*antennas large-scale gains)
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let ch = &e.channel;
+            let _ = writeln!(
+                out,
+                "entry,{},{},{},{},{}",
+                e.topology_id,
+                ch.num_clients(),
+                ch.num_antennas(),
+                ch.tx_power_mw,
+                ch.noise_mw
+            );
+            out.push('h');
+            for z in ch.h.data() {
+                let _ = write!(out, ",{},{}", z.re, z.im);
+            }
+            out.push('\n');
+            out.push('g');
+            for row in &ch.large_scale {
+                for g in row {
+                    let _ = write!(out, ",{}", g);
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a trace previously produced by [`ChannelTrace::to_text`].
+    ///
+    /// Returns an error string describing the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut trace = ChannelTrace::new();
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty()).peekable();
+        while let Some(header) = lines.next() {
+            let fields: Vec<&str> = header.split(',').collect();
+            if fields.len() != 6 || fields[0] != "entry" {
+                return Err(format!("malformed entry header: {header}"));
+            }
+            let parse_usize =
+                |s: &str| s.parse::<usize>().map_err(|e| format!("bad integer '{s}': {e}"));
+            let parse_f64 =
+                |s: &str| s.parse::<f64>().map_err(|e| format!("bad float '{s}': {e}"));
+            let topology_id = parse_usize(fields[1])?;
+            let clients = parse_usize(fields[2])?;
+            let antennas = parse_usize(fields[3])?;
+            let tx_power_mw = parse_f64(fields[4])?;
+            let noise_mw = parse_f64(fields[5])?;
+
+            let h_line = lines.next().ok_or("missing h line")?;
+            let h_fields: Vec<&str> = h_line.split(',').collect();
+            if h_fields[0] != "h" || h_fields.len() != 1 + 2 * clients * antennas {
+                return Err(format!("malformed h line for topology {topology_id}"));
+            }
+            let mut data = Vec::with_capacity(clients * antennas);
+            for pair in h_fields[1..].chunks(2) {
+                data.push(Complex::new(parse_f64(pair[0])?, parse_f64(pair[1])?));
+            }
+            let h = CMat::from_vec(clients, antennas, data);
+
+            let g_line = lines.next().ok_or("missing g line")?;
+            let g_fields: Vec<&str> = g_line.split(',').collect();
+            if g_fields[0] != "g" || g_fields.len() != 1 + clients * antennas {
+                return Err(format!("malformed g line for topology {topology_id}"));
+            }
+            let mut large_scale = vec![vec![0.0; antennas]; clients];
+            for (i, v) in g_fields[1..].iter().enumerate() {
+                large_scale[i / antennas][i % antennas] = parse_f64(v)?;
+            }
+
+            trace.record(
+                topology_id,
+                ChannelMatrix {
+                    h,
+                    large_scale,
+                    tx_power_mw,
+                    noise_mw,
+                },
+            );
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelModel;
+    use crate::geometry::{Point, Rect};
+    use crate::rng::SimRng;
+    use crate::topology::{single_ap, TopologyConfig};
+    use crate::Environment;
+
+    fn sample_channel(seed: u64) -> ChannelMatrix {
+        let mut rng = SimRng::new(seed);
+        let topo = single_ap(
+            &TopologyConfig::das(4, 4),
+            Rect::new(Point::new(0.0, 0.0), 40.0, 40.0),
+            &mut rng,
+        );
+        let mut model = ChannelModel::new(Environment::office_b(), seed);
+        let clients = topo.clients_of(0);
+        model.realize(&topo.aps[0], &clients)
+    }
+
+    #[test]
+    fn record_and_iterate() {
+        let mut trace = ChannelTrace::new();
+        assert!(trace.is_empty());
+        trace.record(0, sample_channel(1));
+        trace.record(1, sample_channel(2));
+        assert_eq!(trace.len(), 2);
+        let ids: Vec<usize> = trace.iter().map(|e| e.topology_id).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert!(trace.get(0).is_some());
+        assert!(trace.get(5).is_none());
+    }
+
+    #[test]
+    fn text_round_trip_preserves_channels() {
+        let mut trace = ChannelTrace::new();
+        for i in 0..3 {
+            trace.record(i, sample_channel(i as u64 + 10));
+        }
+        let text = trace.to_text();
+        let parsed = ChannelTrace::from_text(&text).expect("parse");
+        assert_eq!(parsed.len(), trace.len());
+        for (a, b) in trace.iter().zip(parsed.iter()) {
+            assert_eq!(a.topology_id, b.topology_id);
+            assert!(a.channel.h.approx_eq(&b.channel.h, 1e-12));
+            assert_eq!(a.channel.large_scale, b.channel.large_scale);
+        }
+    }
+
+    #[test]
+    fn malformed_text_is_rejected_with_error() {
+        assert!(ChannelTrace::from_text("garbage,1,2").is_err());
+        assert!(ChannelTrace::from_text("entry,0,2,2,1.0,0.001\nh,1,2\ng,1").is_err());
+    }
+
+    #[test]
+    fn empty_text_gives_empty_trace() {
+        let t = ChannelTrace::from_text("").unwrap();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,500 @@
+//! Experiment runners — one per table/figure of the paper's evaluation (§5).
+//!
+//! Each function regenerates the data series behind one figure; the benchmark
+//! harness in `crates/bench` calls these and prints the series plus the
+//! summary statistic the paper quotes.  All runners are deterministic in the
+//! supplied seed.
+
+use crate::config::SystemConfig;
+use crate::system::SingleApSystem;
+use midas_channel::geometry::{Point, Rect};
+use midas_channel::topology::{single_ap, TopologyConfig};
+use midas_channel::{ChannelModel, Environment, EnvironmentKind, SimRng};
+use midas_mac::client_select::{select_clients_midas, select_clients_random};
+use midas_mac::drr::DrrScheduler;
+use midas_mac::tagging::TagTable;
+use midas_net::coverage::{compare_deadzones, DeadzoneComparison};
+use midas_net::deployment::{paper_das_config, PairedTopology};
+use midas_net::hidden_terminal::{HiddenTerminalComparison, HiddenTerminalScenario};
+use midas_net::simulator::{NetworkSimConfig, NetworkSimulator};
+use midas_net::spatial_reuse::spatial_reuse_trial;
+use midas_phy::precoder::{
+    make_precoder, NaiveScaledPrecoder, OptimalPrecoder, PowerBalancedPrecoder, Precoder,
+    PrecoderKind, ZfbfPrecoder,
+};
+use midas_phy::sounding::{SoundingConfig, SoundingProcess};
+
+/// Paired per-topology samples of a CAS metric and a DAS/MIDAS metric.
+#[derive(Debug, Clone, Default)]
+pub struct PairedSamples {
+    /// CAS (baseline) samples, one per topology.
+    pub cas: Vec<f64>,
+    /// DAS / MIDAS samples, one per topology.
+    pub das: Vec<f64>,
+}
+
+/// Fig. 3 — CDF of the capacity *drop* caused by naïve per-antenna power
+/// scaling (unconstrained ZFBF capacity minus naïvely-scaled capacity) for
+/// 4×4 MU-MIMO, CAS vs DAS.
+pub fn fig03_naive_scaling_drop(topologies: usize, seed: u64) -> PairedSamples {
+    let mut out = PairedSamples::default();
+    for t in 0..topologies as u64 {
+        let sys = SingleApSystem::generate(&SystemConfig::default(), seed ^ (t * 7919 + 1));
+        let drop = |ch: &midas_channel::ChannelMatrix| {
+            let zf = ZfbfPrecoder.precode_channel(ch);
+            let naive = NaiveScaledPrecoder.precode_channel(ch);
+            (zf.sum_capacity - naive.sum_capacity).max(0.0)
+        };
+        out.cas.push(drop(sys.cas_channel()));
+        out.das.push(drop(sys.das_channel()));
+    }
+    out
+}
+
+/// Fig. 7 — CDF of SISO link SNR (dB) across clients, CAS vs DAS, using the
+/// paper's greedy client→antenna mapping (strongest pair first, each antenna
+/// used once).
+pub fn fig07_link_snr(topologies: usize, seed: u64) -> PairedSamples {
+    let mut out = PairedSamples::default();
+    let env = Environment::office_a();
+    for t in 0..topologies as u64 {
+        let mut rng = SimRng::new(seed ^ (t * 6151 + 3));
+        let cfg = TopologyConfig::das(4, 4);
+        let pair = PairedTopology::single_ap(&cfg, 40.0, &mut rng);
+        let mut model = ChannelModel::new(env, seed ^ (t * 6151 + 3));
+        for (topo, sink) in [(&pair.cas, &mut out.cas), (&pair.das, &mut out.das)] {
+            let clients = topo.clients_of(0);
+            let ch = model.realize(&topo.aps[0], &clients);
+            // Greedy mapping: repeatedly take the strongest remaining
+            // (client, antenna) pair, then exclude both.
+            let mut free_clients: Vec<usize> = (0..clients.len()).collect();
+            let mut free_antennas: Vec<usize> = (0..4).collect();
+            while !free_clients.is_empty() && !free_antennas.is_empty() {
+                let mut best = (free_clients[0], free_antennas[0], f64::NEG_INFINITY);
+                for &c in &free_clients {
+                    for &a in &free_antennas {
+                        let snr = ch.siso_snr_db(c, a);
+                        if snr > best.2 {
+                            best = (c, a, snr);
+                        }
+                    }
+                }
+                sink.push(best.2);
+                free_clients.retain(|&x| x != best.0);
+                free_antennas.retain(|&x| x != best.1);
+            }
+        }
+    }
+    out
+}
+
+/// Figs. 8 and 9 — MU-MIMO sum-capacity CDF (bit/s/Hz), CAS (baseline
+/// precoding) vs MIDAS (power-balanced precoding), for the given antenna /
+/// client count and office environment.
+pub fn fig08_09_capacity(
+    environment: EnvironmentKind,
+    antennas: usize,
+    topologies: usize,
+    seed: u64,
+) -> PairedSamples {
+    let config = SystemConfig {
+        environment,
+        antennas,
+        clients: antennas,
+        ..SystemConfig::default()
+    };
+    let mut out = PairedSamples::default();
+    for t in 0..topologies as u64 {
+        let sys = SingleApSystem::generate(&config, seed ^ (t * 2861 + 11));
+        let cmp = sys.downlink_comparison();
+        out.cas.push(cmp.cas_capacity);
+        out.das.push(cmp.midas_capacity);
+    }
+    out
+}
+
+/// Fig. 10 — impact of the power-balanced ("smart") precoder on CAS and on
+/// DAS separately: four capacity series over the same topologies.
+#[derive(Debug, Clone, Default)]
+pub struct SmartPrecodingSeries {
+    /// CAS with the naïve baseline precoder.
+    pub cas_naive: Vec<f64>,
+    /// CAS with the power-balanced precoder.
+    pub cas_smart: Vec<f64>,
+    /// DAS with the naïve baseline precoder.
+    pub das_naive: Vec<f64>,
+    /// DAS with the power-balanced precoder.
+    pub das_smart: Vec<f64>,
+}
+
+/// Runs the Fig. 10 experiment (4×4, Office B in the paper).
+pub fn fig10_smart_precoding(topologies: usize, seed: u64) -> SmartPrecodingSeries {
+    let config = SystemConfig::default().with_environment(EnvironmentKind::OfficeB);
+    let mut out = SmartPrecodingSeries::default();
+    for t in 0..topologies as u64 {
+        let sys = SingleApSystem::generate(&config, seed ^ (t * 4513 + 17));
+        let naive = NaiveScaledPrecoder;
+        let smart = PowerBalancedPrecoder::default();
+        out.cas_naive.push(naive.precode_channel(sys.cas_channel()).sum_capacity);
+        out.cas_smart.push(smart.precode_channel(sys.cas_channel()).sum_capacity);
+        out.das_naive.push(naive.precode_channel(sys.das_channel()).sum_capacity);
+        out.das_smart.push(smart.precode_channel(sys.das_channel()).sum_capacity);
+    }
+    out
+}
+
+/// Fig. 11 — per-topology capacity of the MIDAS precoder vs the numerically
+/// optimal precoder.  `stale_csi` reproduces the "testbed" panel, where the
+/// optimal precoder's long compute time means it is applied to an outdated
+/// channel (the paper's explanation for MIDAS occasionally winning).
+pub fn fig11_optimal_comparison(topologies: usize, stale_csi: bool, seed: u64) -> PairedSamples {
+    // `cas` field holds the optimal precoder series, `das` the MIDAS series.
+    let mut out = PairedSamples::default();
+    let env = Environment::office_a();
+    let sounding = SoundingProcess::new(SoundingConfig::default());
+    for t in 0..topologies as u64 {
+        let s = seed ^ (t * 3571 + 23);
+        let mut rng = SimRng::new(s);
+        let cfg = TopologyConfig::das(4, 4);
+        let region = Rect::new(Point::new(0.0, 0.0), 40.0, 40.0);
+        let topo = single_ap(&cfg, region, &mut rng);
+        let mut model = ChannelModel::new(env, s);
+        let clients = topo.clients_of(0);
+        let ch = model.realize(&topo.aps[0], &clients);
+
+        let midas = PowerBalancedPrecoder::default().precode_channel(&ch);
+        let optimal = if stale_csi {
+            // The optimal precoder is computed on CSI sounded ~2 s ago (the
+            // MATLAB solve time quoted in §5.2.3); by transmission time the
+            // channel has moved on.
+            let mut est_rng = SimRng::new(s ^ 0xBEEF);
+            let old = sounding.estimate(&ch.h, &mut est_rng);
+            let old_ch = midas_channel::ChannelMatrix {
+                h: old,
+                large_scale: ch.large_scale.clone(),
+                tx_power_mw: ch.tx_power_mw,
+                noise_mw: ch.noise_mw,
+            };
+            let evolved = model.evolve(&old_ch, 2.0);
+            let v = OptimalPrecoder::with_iterations(1500).precode_channel(&evolved).v;
+            // Evaluate the stale precoder against the *current* channel.
+            midas_phy::precoder::Precoding::evaluate(
+                PrecoderKind::Optimal,
+                &ch.h,
+                v,
+                ch.noise_mw,
+                0,
+            )
+        } else {
+            OptimalPrecoder::with_iterations(1500).precode_channel(&ch)
+        };
+        out.cas.push(optimal.sum_capacity);
+        out.das.push(midas.sum_capacity);
+    }
+    out
+}
+
+/// Fig. 12 — ratio of simultaneous transmissions (MIDAS / CAS) over random
+/// 3-AP topologies.
+pub fn fig12_simultaneous_tx(topologies: usize, seed: u64) -> Vec<f64> {
+    let env = Environment::office_a();
+    let cfg = paper_das_config(&env, 4, 4);
+    let mut rng = SimRng::new(seed);
+    (0..topologies as u64)
+        .map(|t| {
+            let mut trng = SimRng::new(seed ^ (t * 1409 + 31));
+            let pair = PairedTopology::three_ap(&cfg, &mut trng);
+            spatial_reuse_trial(&pair, &env, &mut rng).ratio()
+        })
+        .collect()
+}
+
+/// Fig. 13 / §5.3.3 — dead-zone comparison over random DAS deployments.
+pub fn fig13_deadzones(deployments: usize, seed: u64) -> Vec<DeadzoneComparison> {
+    let env = Environment::office_b();
+    let radius = env.coverage_range_m() * 0.9;
+    (0..deployments as u64)
+        .map(|d| {
+            let mut rng = SimRng::new(seed ^ (d * 947 + 41));
+            let cfg = TopologyConfig {
+                das_radius_min_m: 0.4 * radius,
+                das_radius_max_m: 0.7 * radius,
+                ..TopologyConfig::das(4, 4)
+            };
+            let pair = PairedTopology::single_ap(&cfg, 3.0 * radius, &mut rng);
+            compare_deadzones(&pair, &env, radius, 0.5, seed ^ (d * 947 + 43))
+        })
+        .collect()
+}
+
+/// §5.3.4 — hidden-terminal spot comparison over random antenna deployments.
+pub fn sec534_hidden_terminals(deployments: usize, seed: u64) -> Vec<HiddenTerminalComparison> {
+    let scenario = HiddenTerminalScenario::new(Environment::office_a());
+    let mut rng = SimRng::new(seed);
+    (0..deployments).map(|_| scenario.compare(1.0, &mut rng)).collect()
+}
+
+/// Fig. 14 — virtual packet tagging: capacity with tagging-driven client
+/// selection vs random client selection, when only 2 of 4 antennas are
+/// available and 4 clients are backlogged.  The `cas` field holds the random
+/// selection, `das` the tagged selection.
+pub fn fig14_packet_tagging(topologies: usize, seed: u64) -> PairedSamples {
+    let mut out = PairedSamples::default();
+    let config = SystemConfig::default();
+    for t in 0..topologies as u64 {
+        let s = seed ^ (t * 677 + 53);
+        let sys = SingleApSystem::generate(&config, s);
+        let ch = sys.das_channel();
+        let mut rng = SimRng::new(s ^ 0xFACE);
+
+        // Two of the four antennas are available this round.
+        let available = rng.choose_indices(4, 2);
+        let backlogged: Vec<usize> = (0..4).collect();
+
+        // MIDAS: tagging + DRR over the available antennas.
+        let rssi: Vec<Vec<f64>> = (0..4)
+            .map(|c| (0..4).map(|a| ch.mean_rssi_dbm(c, a)).collect())
+            .collect();
+        let tags = TagTable::from_rssi(&rssi, config.tag_width);
+        let drr = DrrScheduler::new(4);
+        let eligible = tags.filter_clients(&backlogged, &available);
+        let mut tagged_clients = select_clients_midas(&available, &eligible, &tags, &drr);
+        // The Fig. 14 experiment always transmits one stream per available
+        // antenna; if tagging filled fewer slots (no packet tagged to one of
+        // the antennas), top up with the remaining clients that hear the
+        // available antennas best, as the paper's "more appropriate group of
+        // two clients" does.
+        while tagged_clients.len() < available.len() {
+            let best = backlogged
+                .iter()
+                .copied()
+                .filter(|c| !tagged_clients.contains(c))
+                .max_by(|&a, &b| {
+                    let score = |c: usize| {
+                        available
+                            .iter()
+                            .map(|&k| rssi[c][k])
+                            .fold(f64::NEG_INFINITY, f64::max)
+                    };
+                    score(a).partial_cmp(&score(b)).unwrap()
+                });
+            match best {
+                Some(c) => tagged_clients.push(c),
+                None => break,
+            }
+        }
+        // Random selection baseline.
+        let random_clients = select_clients_random(available.len(), &backlogged, &mut rng);
+
+        let precoder = make_precoder(config.midas_precoder);
+        let capacity = |clients: &[usize]| {
+            let sub = ch.select(clients, &available);
+            precoder.precode_channel(&sub).sum_capacity
+        };
+        out.das.push(capacity(&tagged_clients));
+        out.cas.push(capacity(&random_clients));
+    }
+    out
+}
+
+/// Figs. 15 / 16 — end-to-end network capacity of CAS vs MIDAS over random
+/// multi-AP topologies (3-AP testbed layout or 8-AP large-scale layout).
+pub fn end_to_end_capacity(
+    eight_aps: bool,
+    topologies: usize,
+    rounds: usize,
+    seed: u64,
+) -> PairedSamples {
+    let env = if eight_aps {
+        Environment::open_plan()
+    } else {
+        Environment::office_a()
+    };
+    let cfg = paper_das_config(&env, 4, 4);
+    let mut out = PairedSamples::default();
+    for t in 0..topologies as u64 {
+        let s = seed ^ (t * 193 + 61);
+        let mut rng = SimRng::new(s);
+        let pair = if eight_aps {
+            PairedTopology::eight_ap(&cfg, &env, &mut rng)
+        } else {
+            PairedTopology::three_ap(&cfg, &mut rng)
+        };
+        let mut midas_cfg = NetworkSimConfig::midas(env, s);
+        let mut cas_cfg = NetworkSimConfig::cas(env, s);
+        midas_cfg.rounds = rounds;
+        cas_cfg.rounds = rounds;
+        out.das.push(NetworkSimulator::new(pair.das, midas_cfg).run().mean_capacity());
+        out.cas.push(NetworkSimulator::new(pair.cas, cas_cfg).run().mean_capacity());
+    }
+    out
+}
+
+/// Ablation — tag-width sweep (§3.2.4 discusses 1, 2 and "all" antennas per
+/// client): mean end-to-end capacity of the 3-AP MIDAS network per tag width.
+pub fn ablation_tag_width(widths: &[usize], topologies: usize, seed: u64) -> Vec<(usize, f64)> {
+    let env = Environment::office_a();
+    let cfg = paper_das_config(&env, 4, 4);
+    widths
+        .iter()
+        .map(|&w| {
+            let mut total = 0.0;
+            for t in 0..topologies as u64 {
+                let s = seed ^ (t * 389 + 71);
+                let mut rng = SimRng::new(s);
+                let pair = PairedTopology::three_ap(&cfg, &mut rng);
+                let mut sim_cfg = NetworkSimConfig::midas(env, s);
+                sim_cfg.tag_width = w;
+                sim_cfg.rounds = 10;
+                total += NetworkSimulator::new(pair.das, sim_cfg).run().mean_capacity();
+            }
+            (w, total / topologies as f64)
+        })
+        .collect()
+}
+
+/// Ablation — DAS antenna placement radius sweep (§7 recommends 50–75 % of
+/// the CAS coverage range): median single-AP MU-MIMO capacity per radius
+/// fraction band.
+pub fn ablation_das_radius(
+    fractions: &[(f64, f64)],
+    topologies: usize,
+    seed: u64,
+) -> Vec<((f64, f64), f64)> {
+    let env = Environment::office_a();
+    let range = env.coverage_range_m();
+    fractions
+        .iter()
+        .map(|&(lo, hi)| {
+            let mut caps = Vec::new();
+            for t in 0..topologies as u64 {
+                let s = seed ^ (t * 271 + 83);
+                let mut rng = SimRng::new(s);
+                let cfg = TopologyConfig {
+                    das_radius_min_m: lo * range,
+                    das_radius_max_m: hi * range,
+                    ..TopologyConfig::das(4, 4)
+                };
+                let pair = PairedTopology::single_ap(&cfg, 3.0 * range, &mut rng);
+                let mut model = ChannelModel::new(env, s);
+                let clients = pair.das.clients_of(0);
+                let ch = model.realize(&pair.das.aps[0], &clients);
+                caps.push(PowerBalancedPrecoder::default().precode_channel(&ch).sum_capacity);
+            }
+            ((lo, hi), midas_net::metrics::Cdf::new(&caps).median())
+        })
+        .collect()
+}
+
+/// Ablation — opportunistic-wait window sweep (§3.2.3): fraction of planning
+/// attempts in which waiting up to the window adds at least one antenna,
+/// over random busy patterns.
+pub fn ablation_antenna_wait(windows_us: &[u64], trials: usize, seed: u64) -> Vec<(u64, f64)> {
+    use midas_mac::antenna_select::select_opportunistic;
+    use midas_mac::carrier_sense::CarrierSense;
+    let mut rng = SimRng::new(seed);
+    windows_us
+        .iter()
+        .map(|&w| {
+            let mut gained = 0usize;
+            for _ in 0..trials {
+                let mut cs = CarrierSense::new(4, -76.0);
+                let now = 10_000u64;
+                // Random busy pattern: each non-primary antenna busy with 50%
+                // probability for up to 60 us beyond `now`.
+                for a in 1..4 {
+                    if rng.bernoulli(0.5) {
+                        cs.observe(a, -50.0, now + rng.uniform_usize(60) as u64 + 1);
+                    }
+                }
+                let baseline = select_opportunistic(&cs, 0, now, 0).len();
+                let with_wait = select_opportunistic(&cs, 0, now, w).len();
+                if with_wait > baseline {
+                    gained += 1;
+                }
+            }
+            (w, gained as f64 / trials as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_net::metrics::Cdf;
+
+    #[test]
+    fn fig03_das_drop_exceeds_cas_drop() {
+        let s = fig03_naive_scaling_drop(15, 1);
+        assert_eq!(s.cas.len(), 15);
+        assert!(Cdf::new(&s.das).median() > Cdf::new(&s.cas).median());
+    }
+
+    #[test]
+    fn fig07_das_links_have_higher_median_snr() {
+        let s = fig07_link_snr(15, 2);
+        let gain = Cdf::new(&s.das).median() - Cdf::new(&s.cas).median();
+        assert!(gain > 1.0, "median DAS link gain {gain:.1} dB");
+    }
+
+    #[test]
+    fn fig08_midas_beats_cas_for_both_antenna_counts() {
+        for antennas in [2usize, 4] {
+            let s = fig08_09_capacity(EnvironmentKind::OfficeA, antennas, 12, 3);
+            let gain = (Cdf::new(&s.das).median() - Cdf::new(&s.cas).median())
+                / Cdf::new(&s.cas).median();
+            assert!(gain > 0.1, "{antennas} antennas: gain {gain:.2}");
+        }
+    }
+
+    #[test]
+    fn fig10_smart_precoding_helps_das_more_than_cas() {
+        let s = fig10_smart_precoding(15, 4);
+        let cas_gain = Cdf::new(&s.cas_smart).median() - Cdf::new(&s.cas_naive).median();
+        let das_gain = Cdf::new(&s.das_smart).median() - Cdf::new(&s.das_naive).median();
+        assert!(das_gain > cas_gain, "DAS gain {das_gain:.2} vs CAS gain {cas_gain:.2}");
+    }
+
+    #[test]
+    fn fig11_midas_is_close_to_optimal_in_simulation() {
+        let s = fig11_optimal_comparison(8, false, 5);
+        for (&midas, &optimal) in s.das.iter().zip(s.cas.iter()) {
+            assert!(midas <= optimal + 1e-6);
+            assert!(midas / optimal > 0.85, "ratio {}", midas / optimal);
+        }
+    }
+
+    #[test]
+    fn fig12_median_ratio_exceeds_one() {
+        let ratios = fig12_simultaneous_tx(20, 6);
+        assert!(Cdf::new(&ratios).median() > 1.0);
+    }
+
+    #[test]
+    fn fig14_tagged_selection_beats_random() {
+        let s = fig14_packet_tagging(25, 7);
+        assert!(Cdf::new(&s.das).median() > Cdf::new(&s.cas).median());
+    }
+
+    #[test]
+    fn end_to_end_midas_beats_cas_on_three_aps() {
+        // Per-topology variance is high at this small scale, so aggregate a
+        // handful of topologies; the bench runs the full-size version.
+        let s = end_to_end_capacity(false, 6, 10, 100);
+        let das: f64 = s.das.iter().sum();
+        let cas: f64 = s.cas.iter().sum();
+        assert!(das > cas, "MIDAS {das:.1} vs CAS {cas:.1}");
+    }
+
+    #[test]
+    fn ablation_runners_produce_one_row_per_setting() {
+        let tag = ablation_tag_width(&[1, 2], 1, 9);
+        assert_eq!(tag.len(), 2);
+        let radius = ablation_das_radius(&[(0.2, 0.4), (0.5, 0.75)], 4, 10);
+        assert_eq!(radius.len(), 2);
+        let wait = ablation_antenna_wait(&[0, 34], 200, 11);
+        assert_eq!(wait.len(), 2);
+        // Waiting a DIFS can only help or leave unchanged.
+        assert!(wait[1].1 >= wait[0].1);
+    }
+}

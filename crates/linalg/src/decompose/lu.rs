@@ -1,0 +1,244 @@
+//! LU decomposition with partial pivoting for complex matrices.
+
+use crate::complex::Complex;
+use crate::matrix::CMat;
+
+/// LU decomposition `P*A = L*U` of a square complex matrix with partial
+/// (row) pivoting.
+///
+/// `L` is unit lower triangular, `U` is upper triangular and `P` is a row
+/// permutation recorded as an index vector.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Combined storage: strictly-lower part holds L (unit diagonal implied),
+    /// upper part holds U.
+    lu: CMat,
+    /// Row permutation: `perm[i]` is the original row now stored at row `i`.
+    perm: Vec<usize>,
+    /// Parity of the permutation (+1.0 / -1.0), used for the determinant.
+    sign: f64,
+    /// Set when a pivot smaller than the tolerance was encountered.
+    singular: bool,
+}
+
+impl LuDecomposition {
+    /// Factorises `a`, which must be square.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    pub fn new(a: &CMat, eps: f64) -> Self {
+        assert!(a.is_square(), "LU requires a square matrix");
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let mut singular = false;
+
+        for k in 0..n {
+            // Partial pivoting: find the largest magnitude entry in column k
+            // at or below the diagonal.
+            let mut pivot_row = k;
+            let mut pivot_mag = lu.get(k, k).norm();
+            for r in (k + 1)..n {
+                let mag = lu.get(r, k).norm();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = r;
+                }
+            }
+            if pivot_mag < eps {
+                singular = true;
+                continue;
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = lu.get(k, c);
+                    lu.set(k, c, lu.get(pivot_row, c));
+                    lu.set(pivot_row, c, tmp);
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu.get(k, k);
+            for r in (k + 1)..n {
+                let factor = lu.get(r, k) / pivot;
+                lu.set(r, k, factor);
+                for c in (k + 1)..n {
+                    let v = lu.get(r, c) - factor * lu.get(k, c);
+                    lu.set(r, c, v);
+                }
+            }
+        }
+
+        LuDecomposition {
+            lu,
+            perm,
+            sign,
+            singular,
+        }
+    }
+
+    /// Returns `true` when a near-zero pivot was found (matrix is singular to
+    /// working precision).
+    pub fn is_singular(&self) -> bool {
+        self.singular
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> Complex {
+        if self.singular {
+            return Complex::ZERO;
+        }
+        let n = self.lu.rows();
+        let mut d = Complex::from_re(self.sign);
+        for i in 0..n {
+            d *= self.lu.get(i, i);
+        }
+        d
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    ///
+    /// Returns `None` if the matrix is singular.
+    pub fn solve_vec(&self, b: &[Complex]) -> Option<Vec<Complex>> {
+        if self.singular {
+            return None;
+        }
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n, "solve_vec: rhs length mismatch");
+
+        // Apply permutation, then forward substitution (L y = P b).
+        let mut y = vec![Complex::ZERO; n];
+        for i in 0..n {
+            let mut acc = b[self.perm[i]];
+            for j in 0..i {
+                acc -= self.lu.get(i, j) * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back substitution (U x = y).
+        let mut x = vec![Complex::ZERO; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = acc / self.lu.get(i, i);
+        }
+        Some(x)
+    }
+
+    /// Solves `A X = B` for a matrix right-hand side.
+    pub fn solve_mat(&self, b: &CMat) -> Option<CMat> {
+        if self.singular {
+            return None;
+        }
+        let n = self.lu.rows();
+        assert_eq!(b.rows(), n, "solve_mat: rhs rows mismatch");
+        let mut out = CMat::zeros(n, b.cols());
+        for c in 0..b.cols() {
+            let col = b.col(c);
+            let x = self.solve_vec(&col)?;
+            for (r, v) in x.into_iter().enumerate() {
+                out.set(r, c, v);
+            }
+        }
+        Some(out)
+    }
+
+    /// Inverse of the original matrix, if non-singular.
+    pub fn inverse(&self) -> Option<CMat> {
+        let n = self.lu.rows();
+        self.solve_mat(&CMat::identity(n))
+    }
+}
+
+/// Convenience wrapper: inverse of a square matrix via LU.
+pub fn invert(a: &CMat, eps: f64) -> Option<CMat> {
+    LuDecomposition::new(a, eps).inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DEFAULT_EPS;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn solves_real_system() {
+        // [2 1; 1 3] x = [3; 5]  =>  x = [4/5; 7/5]
+        let a = CMat::from_real(2, 2, &[2.0, 1.0, 1.0, 3.0]);
+        let lu = LuDecomposition::new(&a, DEFAULT_EPS);
+        let x = lu.solve_vec(&[c(3.0, 0.0), c(5.0, 0.0)]).unwrap();
+        assert!((x[0].re - 0.8).abs() < 1e-12);
+        assert!((x[1].re - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_complex_system_round_trip() {
+        let a = CMat::from_rows(&[
+            vec![c(1.0, 1.0), c(2.0, -1.0), c(0.0, 0.5)],
+            vec![c(-1.0, 0.0), c(3.0, 2.0), c(1.0, 1.0)],
+            vec![c(0.5, -0.5), c(0.0, 1.0), c(2.0, 0.0)],
+        ]);
+        let x_true = vec![c(1.0, -2.0), c(0.5, 0.5), c(-1.0, 1.0)];
+        let b = a.mul_vec(&x_true);
+        let lu = LuDecomposition::new(&a, DEFAULT_EPS);
+        let x = lu.solve_vec(&b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!(xi.approx_eq(*ti, 1e-10), "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = CMat::from_rows(&[
+            vec![c(4.0, 0.0), c(1.0, 2.0)],
+            vec![c(1.0, -2.0), c(3.0, 0.0)],
+        ]);
+        let inv = invert(&a, DEFAULT_EPS).unwrap();
+        let prod = a.mul(&inv);
+        assert!(prod.approx_eq(&CMat::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn determinant_of_triangular_is_product_of_diagonal() {
+        let a = CMat::from_real(3, 3, &[2.0, 5.0, 1.0, 0.0, 3.0, 7.0, 0.0, 0.0, 4.0]);
+        let lu = LuDecomposition::new(&a, DEFAULT_EPS);
+        assert!((lu.det().re - 24.0).abs() < 1e-10);
+        assert!(lu.det().im.abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = CMat::from_real(2, 2, &[1.0, 2.0, 2.0, 4.0]);
+        let lu = LuDecomposition::new(&a, 1e-9);
+        assert!(lu.is_singular());
+        assert!(lu.solve_vec(&[c(1.0, 0.0), c(1.0, 0.0)]).is_none());
+        assert_eq!(lu.det(), Complex::ZERO);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = CMat::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let lu = LuDecomposition::new(&a, DEFAULT_EPS);
+        assert!(!lu.is_singular());
+        let x = lu.solve_vec(&[c(3.0, 0.0), c(7.0, 0.0)]).unwrap();
+        assert!((x[0].re - 7.0).abs() < 1e-12);
+        assert!((x[1].re - 3.0).abs() < 1e-12);
+        // det of the permutation matrix is -1
+        assert!((lu.det().re + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_mat_solves_all_columns() {
+        let a = CMat::from_real(2, 2, &[3.0, 1.0, 1.0, 2.0]);
+        let b = CMat::from_real(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        let lu = LuDecomposition::new(&a, DEFAULT_EPS);
+        let x = lu.solve_mat(&b).unwrap();
+        assert!(a.mul(&x).approx_eq(&b, 1e-10));
+    }
+}

@@ -1,0 +1,56 @@
+//! # midas-linalg
+//!
+//! Complex-valued dense linear algebra substrate for the MIDAS (CoNEXT'14)
+//! reproduction.
+//!
+//! MU-MIMO precoding is built on a handful of matrix primitives: complex
+//! arithmetic, dense matrix products, Hermitian transposes, linear solves,
+//! and — most importantly for zero-forcing beamforming — the Moore–Penrose
+//! pseudoinverse.  The reproduction deliberately avoids external math crates,
+//! so this crate implements those primitives from scratch:
+//!
+//! * [`Complex`] — a `f64`-based complex number with the full operator set.
+//! * [`CMat`] — a dense, row-major complex matrix with constructors,
+//!   arithmetic, slicing helpers and norms.
+//! * [`decompose`] — LU (partial pivoting), Householder QR and one-sided
+//!   Jacobi SVD factorisations.
+//! * [`pinv`] — Moore–Penrose pseudoinverse built on the SVD.
+//! * [`solve`] — linear system / least-squares solvers built on LU and QR.
+//!
+//! Everything is deterministic, allocation-light and sized for the small
+//! matrices MU-MIMO works with (typically 2×2 to 8×8), but correct for any
+//! dense size.
+//!
+//! ## Example
+//!
+//! ```
+//! use midas_linalg::{CMat, Complex};
+//!
+//! // Build a 2x2 channel matrix and null it with its pseudoinverse.
+//! let h = CMat::from_rows(&[
+//!     vec![Complex::new(1.0, 0.2), Complex::new(0.1, -0.3)],
+//!     vec![Complex::new(-0.4, 0.5), Complex::new(0.9, 0.0)],
+//! ]);
+//! let v = midas_linalg::pinv::pseudo_inverse(&h, 1e-12);
+//! let prod = h.mul(&v);
+//! assert!((prod.get(0, 0).re - 1.0).abs() < 1e-9);
+//! assert!(prod.get(0, 1).norm() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod complex;
+pub mod decompose;
+pub mod matrix;
+pub mod pinv;
+pub mod solve;
+
+pub use complex::Complex;
+pub use matrix::CMat;
+
+/// Convenience alias used across the workspace for real scalars.
+pub type Real = f64;
+
+/// Numerical tolerance used as the default rank / convergence threshold.
+pub const DEFAULT_EPS: f64 = 1e-12;

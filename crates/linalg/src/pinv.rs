@@ -1,0 +1,144 @@
+//! Moore–Penrose pseudoinverse.
+//!
+//! Zero-forcing beamforming's closed-form solution is the pseudoinverse of the
+//! downlink channel matrix (paper §3.1.1: "the best precoder is the
+//! pseudoinverse of the channel matrix, H†").  Two routes are provided:
+//!
+//! * [`pseudo_inverse`] — the general, rank-revealing SVD route; works for
+//!   any shape and any rank and is what the precoders use by default.
+//! * [`right_pseudo_inverse`] — the classical `H^H (H H^H)^{-1}` formula for
+//!   full-row-rank (clients ≤ antennas) channel matrices; cheaper and used as
+//!   a cross-check in tests.
+
+use crate::decompose::lu::LuDecomposition;
+use crate::decompose::svd::Svd;
+use crate::matrix::CMat;
+
+/// Computes the Moore–Penrose pseudoinverse of `a` via the SVD.
+///
+/// Singular values below `tol * s_max` are treated as zero, so the result is
+/// well defined for rank-deficient matrices.
+pub fn pseudo_inverse(a: &CMat, tol: f64) -> CMat {
+    let svd = Svd::new(a);
+    let smax = svd.s.first().copied().unwrap_or(0.0);
+    let r = svd.s.len();
+
+    // V * diag(1/s) * U^H, skipping negligible singular values.
+    let mut v_scaled = svd.v.clone();
+    for c in 0..r {
+        let s = svd.s[c];
+        let inv = if smax > 0.0 && s > tol * smax { 1.0 / s } else { 0.0 };
+        v_scaled.scale_col(c, inv);
+    }
+    v_scaled.mul(&svd.u.hermitian())
+}
+
+/// Right pseudoinverse `A^H (A A^H)^{-1}` for a full-row-rank matrix
+/// (rows ≤ cols).  Returns `None` when `A A^H` is singular.
+pub fn right_pseudo_inverse(a: &CMat, eps: f64) -> Option<CMat> {
+    let gram = a.mul(&a.hermitian());
+    let lu = LuDecomposition::new(&gram, eps);
+    let inv = lu.inverse()?;
+    Some(a.hermitian().mul(&inv))
+}
+
+/// Left pseudoinverse `(A^H A)^{-1} A^H` for a full-column-rank matrix
+/// (rows ≥ cols).  Returns `None` when `A^H A` is singular.
+pub fn left_pseudo_inverse(a: &CMat, eps: f64) -> Option<CMat> {
+    let gram = a.hermitian().mul(a);
+    let lu = LuDecomposition::new(&gram, eps);
+    let inv = lu.inverse()?;
+    Some(inv.mul(&a.hermitian()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+    use crate::DEFAULT_EPS;
+
+    fn random_like(rows: usize, cols: usize, seed: u64) -> CMat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let mut m = CMat::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, Complex::new(next(), next()));
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn square_pinv_is_inverse() {
+        let a = random_like(3, 3, 1);
+        let p = pseudo_inverse(&a, DEFAULT_EPS);
+        assert!(a.mul(&p).approx_eq(&CMat::identity(3), 1e-8));
+        assert!(p.mul(&a).approx_eq(&CMat::identity(3), 1e-8));
+    }
+
+    #[test]
+    fn wide_pinv_is_right_inverse() {
+        // Typical MU-MIMO shape: clients (rows) < antennas (cols).
+        let h = random_like(3, 5, 2);
+        let p = pseudo_inverse(&h, DEFAULT_EPS);
+        assert_eq!(p.shape(), (5, 3));
+        assert!(h.mul(&p).approx_eq(&CMat::identity(3), 1e-8));
+    }
+
+    #[test]
+    fn tall_pinv_is_left_inverse() {
+        let h = random_like(5, 3, 4);
+        let p = pseudo_inverse(&h, DEFAULT_EPS);
+        assert_eq!(p.shape(), (3, 5));
+        assert!(p.mul(&h).approx_eq(&CMat::identity(3), 1e-8));
+    }
+
+    #[test]
+    fn svd_and_right_formula_agree_for_full_row_rank() {
+        let h = random_like(4, 6, 7);
+        let p1 = pseudo_inverse(&h, DEFAULT_EPS);
+        let p2 = right_pseudo_inverse(&h, DEFAULT_EPS).unwrap();
+        assert!(p1.approx_eq(&p2, 1e-7));
+    }
+
+    #[test]
+    fn svd_and_left_formula_agree_for_full_col_rank() {
+        let h = random_like(6, 4, 8);
+        let p1 = pseudo_inverse(&h, DEFAULT_EPS);
+        let p2 = left_pseudo_inverse(&h, DEFAULT_EPS).unwrap();
+        assert!(p1.approx_eq(&p2, 1e-7));
+    }
+
+    #[test]
+    fn penrose_conditions_hold_for_rank_deficient_matrix() {
+        // Build an explicitly rank-2 4x4 matrix.
+        let b = random_like(4, 2, 12);
+        let c = random_like(2, 4, 13);
+        let a = b.mul(&c);
+        let p = pseudo_inverse(&a, 1e-10);
+        // 1) A P A = A
+        assert!(a.mul(&p).mul(&a).approx_eq(&a, 1e-7));
+        // 2) P A P = P
+        assert!(p.mul(&a).mul(&p).approx_eq(&p, 1e-7));
+        // 3) (A P)^H = A P
+        let ap = a.mul(&p);
+        assert!(ap.hermitian().approx_eq(&ap, 1e-7));
+        // 4) (P A)^H = P A
+        let pa = p.mul(&a);
+        assert!(pa.hermitian().approx_eq(&pa, 1e-7));
+    }
+
+    #[test]
+    fn zero_matrix_has_zero_pinv() {
+        let a = CMat::zeros(3, 4);
+        let p = pseudo_inverse(&a, DEFAULT_EPS);
+        assert_eq!(p.shape(), (4, 3));
+        assert!(p.frobenius_norm() < 1e-12);
+    }
+}

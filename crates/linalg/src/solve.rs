@@ -1,0 +1,82 @@
+//! High-level linear solvers combining the factorisations.
+
+use crate::complex::Complex;
+use crate::decompose::lu::LuDecomposition;
+use crate::decompose::qr::QrDecomposition;
+use crate::matrix::CMat;
+use crate::DEFAULT_EPS;
+
+/// Solves the square system `A x = b` with LU + partial pivoting.
+///
+/// Returns `None` when `A` is singular to working precision.
+pub fn solve(a: &CMat, b: &[Complex]) -> Option<Vec<Complex>> {
+    LuDecomposition::new(a, DEFAULT_EPS).solve_vec(b)
+}
+
+/// Solves the least-squares problem `min ||A x - b||_2` for a tall or square
+/// full-column-rank `A` using Householder QR.
+///
+/// Returns `None` when `A` is rank deficient to working precision.
+pub fn solve_least_squares(a: &CMat, b: &[Complex]) -> Option<Vec<Complex>> {
+    QrDecomposition::new(a).solve_least_squares(b, DEFAULT_EPS)
+}
+
+/// Inverse of a square matrix, if it exists.
+pub fn inverse(a: &CMat) -> Option<CMat> {
+    LuDecomposition::new(a, DEFAULT_EPS).inverse()
+}
+
+/// Determinant of a square matrix.
+pub fn determinant(a: &CMat) -> Complex {
+    LuDecomposition::new(a, DEFAULT_EPS).det()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn solve_round_trips() {
+        let a = CMat::from_rows(&[
+            vec![c(2.0, 0.0), c(1.0, 1.0)],
+            vec![c(0.0, -1.0), c(3.0, 0.5)],
+        ]);
+        let x_true = vec![c(1.0, 2.0), c(-0.5, 0.0)];
+        let b = a.mul_vec(&x_true);
+        let x = solve(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!(xi.approx_eq(*ti, 1e-10));
+        }
+    }
+
+    #[test]
+    fn solve_rejects_singular() {
+        let a = CMat::from_real(2, 2, &[1.0, 1.0, 1.0, 1.0]);
+        assert!(solve(&a, &[c(1.0, 0.0), c(2.0, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn least_squares_equals_exact_solution_for_square_systems() {
+        let a = CMat::from_real(2, 2, &[4.0, 1.0, 2.0, 3.0]);
+        let b = vec![c(1.0, 0.0), c(2.0, 0.0)];
+        let x1 = solve(&a, &b).unwrap();
+        let x2 = solve_least_squares(&a, &b).unwrap();
+        for (p, q) in x1.iter().zip(x2.iter()) {
+            assert!(p.approx_eq(*q, 1e-9));
+        }
+    }
+
+    #[test]
+    fn inverse_and_determinant_are_consistent() {
+        let a = CMat::from_real(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let inv = inverse(&a).unwrap();
+        assert!(a.mul(&inv).approx_eq(&CMat::identity(2), 1e-10));
+        let det = determinant(&a);
+        assert!((det.re + 2.0).abs() < 1e-10);
+        assert!(det.im.abs() < 1e-12);
+    }
+}

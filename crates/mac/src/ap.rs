@@ -1,0 +1,439 @@
+//! AP-side MAC state machines: MIDAS and the CAS baseline.
+//!
+//! Both MACs are *planners*: given the current carrier-sense state and their
+//! transmit queues they decide which antennas and which clients take part in
+//! the next MU-MIMO transmission.  Air-time accounting, precoding and SINR
+//! evaluation happen in the network simulator (`midas-net`), which feeds the
+//! resulting medium occupancy back into every AP's carrier-sense state.
+//!
+//! * [`MidasApMac`] — per-antenna carrier sensing, opportunistic antenna
+//!   selection (DIFS wait), virtual packet tagging and antenna-specific DRR
+//!   client selection (§3.2 of the paper).
+//! * [`CasApMac`] — the 802.11ac baseline: one coupled channel state for the
+//!   whole AP, all antennas transmit whenever the AP wins access, clients are
+//!   picked by fairness alone.
+
+use crate::antenna_select::{select_opportunistic, AntennaSelection};
+use crate::carrier_sense::{CarrierSense, ChannelState};
+use crate::client_select::{select_clients_cas, select_clients_midas};
+use crate::drr::DrrScheduler;
+use crate::queue::{Packet, TxQueues};
+use crate::sim::MicroSeconds;
+use crate::tagging::TagTable;
+use crate::timing::DIFS_US;
+
+/// The plan for one MU-MIMO transmission: which antennas transmit to which
+/// clients, starting when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MuTransmissionPlan {
+    /// Antennas taking part (AP-local indices), primary first.
+    pub antennas: Vec<usize>,
+    /// Clients served (topology-wide indices), one per antenna at most,
+    /// aligned with stream order.
+    pub clients: Vec<usize>,
+    /// Earliest time the transmission can start (≥ the planning time when the
+    /// AP opportunistically waits for an antenna's NAV to expire).
+    pub start_time: MicroSeconds,
+}
+
+impl MuTransmissionPlan {
+    /// Number of spatial streams in the plan.
+    pub fn num_streams(&self) -> usize {
+        self.clients.len()
+    }
+}
+
+/// Behaviour common to the MIDAS MAC and the CAS baseline MAC.
+pub trait ApMac {
+    /// Number of antennas at this AP.
+    fn num_antennas(&self) -> usize;
+
+    /// Immutable access to the carrier-sense state (the network simulator
+    /// feeds observations into it).
+    fn carrier_sense(&self) -> &CarrierSense;
+
+    /// Mutable access to the carrier-sense state.
+    fn carrier_sense_mut(&mut self) -> &mut CarrierSense;
+
+    /// Enqueues a downlink packet.
+    fn enqueue(&mut self, packet: Packet);
+
+    /// Clients that currently have queued traffic.
+    fn backlogged_clients(&self) -> Vec<usize>;
+
+    /// Whether the MAC could attempt a transmission at `now` (some antenna —
+    /// or for CAS, the whole AP — senses an idle medium and there is traffic).
+    fn can_attempt(&self, now: MicroSeconds) -> bool;
+
+    /// Plans the next MU-MIMO transmission at `now`, or returns `None` when
+    /// no antenna/client combination is currently serviceable.
+    fn plan_transmission(&mut self, now: MicroSeconds) -> Option<MuTransmissionPlan>;
+
+    /// Records the completion of a planned transmission of duration
+    /// `txop_us`: dequeues one packet per served client and updates the
+    /// fairness counters.
+    fn complete_transmission(&mut self, plan: &MuTransmissionPlan, txop_us: MicroSeconds);
+}
+
+/// The MIDAS DAS-aware MAC.
+#[derive(Debug, Clone)]
+pub struct MidasApMac {
+    cs: CarrierSense,
+    queues: TxQueues,
+    tags: TagTable,
+    drr: DrrScheduler,
+    /// Opportunistic-wait window (DIFS by default, swept by the ablation bench).
+    wait_window_us: MicroSeconds,
+}
+
+impl MidasApMac {
+    /// Creates a MIDAS MAC for an AP with `num_antennas` antennas serving
+    /// `num_clients` clients, given the RSSI-based tag table.
+    pub fn new(
+        num_antennas: usize,
+        num_clients: usize,
+        tags: TagTable,
+        carrier_sense_dbm: f64,
+    ) -> Self {
+        MidasApMac {
+            cs: CarrierSense::new(num_antennas, carrier_sense_dbm),
+            queues: TxQueues::new(),
+            tags,
+            drr: DrrScheduler::new(num_clients),
+            wait_window_us: DIFS_US,
+        }
+    }
+
+    /// Overrides the opportunistic-wait window (0 disables waiting).
+    pub fn set_wait_window(&mut self, wait_window_us: MicroSeconds) {
+        self.wait_window_us = wait_window_us;
+    }
+
+    /// Replaces the tag table (e.g. after fresh RSSI measurements).
+    pub fn update_tags(&mut self, tags: TagTable) {
+        self.tags = tags;
+    }
+
+    /// The current tag table.
+    pub fn tags(&self) -> &TagTable {
+        &self.tags
+    }
+
+    /// The DRR fairness state (read-only; used by tests and reporting).
+    pub fn drr(&self) -> &DrrScheduler {
+        &self.drr
+    }
+
+    /// Antennas whose channel state is idle at `now` (the fine-grained view).
+    pub fn idle_antennas(&self, now: MicroSeconds) -> Vec<usize> {
+        self.cs.idle_antennas(now)
+    }
+
+    /// Runs opportunistic antenna selection from the given primary antenna.
+    pub fn opportunistic_selection(&self, primary: usize, now: MicroSeconds) -> AntennaSelection {
+        select_opportunistic(&self.cs, primary, now, self.wait_window_us)
+    }
+}
+
+impl ApMac for MidasApMac {
+    fn num_antennas(&self) -> usize {
+        self.cs.num_antennas()
+    }
+
+    fn carrier_sense(&self) -> &CarrierSense {
+        &self.cs
+    }
+
+    fn carrier_sense_mut(&mut self) -> &mut CarrierSense {
+        &mut self.cs
+    }
+
+    fn enqueue(&mut self, packet: Packet) {
+        self.queues.enqueue(packet);
+    }
+
+    fn backlogged_clients(&self) -> Vec<usize> {
+        self.queues.active_clients_any()
+    }
+
+    fn can_attempt(&self, now: MicroSeconds) -> bool {
+        !self.queues.is_empty() && !self.cs.idle_antennas(now).is_empty()
+    }
+
+    fn plan_transmission(&mut self, now: MicroSeconds) -> Option<MuTransmissionPlan> {
+        let idle = self.cs.idle_antennas(now);
+        let &primary = idle.first()?;
+        let selection = self.opportunistic_selection(primary, now);
+        let backlogged = self.backlogged_clients();
+        if backlogged.is_empty() {
+            return None;
+        }
+        // Virtual packet tagging: a client is eligible only if one of its
+        // tagged antennas is part of the selection (§3.2.4).
+        let eligible = self.tags.filter_clients(&backlogged, &selection.antennas);
+        let clients = select_clients_midas(&selection.antennas, &eligible, &self.tags, &self.drr);
+        if clients.is_empty() {
+            return None;
+        }
+        Some(MuTransmissionPlan {
+            antennas: selection.antennas,
+            clients,
+            start_time: selection.start_time,
+        })
+    }
+
+    fn complete_transmission(&mut self, plan: &MuTransmissionPlan, txop_us: MicroSeconds) {
+        for &c in &plan.clients {
+            let _ = self.queues.dequeue_for_any(c);
+        }
+        let unserved: Vec<usize> = self
+            .backlogged_clients()
+            .into_iter()
+            .filter(|c| !plan.clients.contains(c))
+            .collect();
+        self.drr.update_after_txop(&plan.clients, &unserved, txop_us);
+    }
+}
+
+/// The CAS 802.11ac baseline MAC: one channel state, all antennas, fairness-only
+/// client selection.
+#[derive(Debug, Clone)]
+pub struct CasApMac {
+    cs: CarrierSense,
+    queues: TxQueues,
+    drr: DrrScheduler,
+}
+
+impl CasApMac {
+    /// Creates a CAS MAC for an AP with `num_antennas` antennas and
+    /// `num_clients` clients.
+    pub fn new(num_antennas: usize, num_clients: usize, carrier_sense_dbm: f64) -> Self {
+        CasApMac {
+            cs: CarrierSense::new(num_antennas, carrier_sense_dbm),
+            queues: TxQueues::new(),
+            drr: DrrScheduler::new(num_clients),
+        }
+    }
+
+    /// The DRR fairness state.
+    pub fn drr(&self) -> &DrrScheduler {
+        &self.drr
+    }
+}
+
+impl ApMac for CasApMac {
+    fn num_antennas(&self) -> usize {
+        self.cs.num_antennas()
+    }
+
+    fn carrier_sense(&self) -> &CarrierSense {
+        &self.cs
+    }
+
+    fn carrier_sense_mut(&mut self) -> &mut CarrierSense {
+        &mut self.cs
+    }
+
+    fn enqueue(&mut self, packet: Packet) {
+        self.queues.enqueue(packet);
+    }
+
+    fn backlogged_clients(&self) -> Vec<usize> {
+        self.queues.active_clients_any()
+    }
+
+    fn can_attempt(&self, now: MicroSeconds) -> bool {
+        // CAS keeps a single coupled channel state: the AP defers if *any* of
+        // its (co-located) antennas senses a busy medium.
+        !self.queues.is_empty() && self.cs.cas_state(now) == ChannelState::Idle
+    }
+
+    fn plan_transmission(&mut self, now: MicroSeconds) -> Option<MuTransmissionPlan> {
+        if self.cs.cas_state(now) == ChannelState::Busy {
+            return None;
+        }
+        let backlogged = self.backlogged_clients();
+        if backlogged.is_empty() {
+            return None;
+        }
+        let clients = select_clients_cas(self.num_antennas(), &backlogged, &self.drr);
+        if clients.is_empty() {
+            return None;
+        }
+        Some(MuTransmissionPlan {
+            antennas: (0..self.num_antennas()).collect(),
+            clients,
+            start_time: now,
+        })
+    }
+
+    fn complete_transmission(&mut self, plan: &MuTransmissionPlan, txop_us: MicroSeconds) {
+        for &c in &plan.clients {
+            let _ = self.queues.dequeue_for_any(c);
+        }
+        let unserved: Vec<usize> = self
+            .backlogged_clients()
+            .into_iter()
+            .filter(|c| !plan.clients.contains(c))
+            .collect();
+        self.drr.update_after_txop(&plan.clients, &unserved, txop_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edca::AccessCategory;
+
+    fn tag_table() -> TagTable {
+        // 4 clients, client c strongest at antenna c, second at (c+1) % 4.
+        let mut rssi = vec![vec![-80.0; 4]; 4];
+        for (c, row) in rssi.iter_mut().enumerate() {
+            row[c] = -40.0;
+            row[(c + 1) % 4] = -55.0;
+        }
+        TagTable::from_rssi(&rssi, 2)
+    }
+
+    fn pkt(client: usize) -> Packet {
+        Packet {
+            client,
+            bytes: 1500,
+            arrival_us: 0,
+            category: AccessCategory::BestEffort,
+        }
+    }
+
+    fn backlog_all(mac: &mut dyn ApMac) {
+        for c in 0..4 {
+            mac.enqueue(pkt(c));
+            mac.enqueue(pkt(c));
+        }
+    }
+
+    #[test]
+    fn midas_all_idle_plans_full_4x4_mu_mimo() {
+        let mut mac = MidasApMac::new(4, 4, tag_table(), -82.0);
+        backlog_all(&mut mac);
+        assert!(mac.can_attempt(0));
+        let plan = mac.plan_transmission(0).unwrap();
+        assert_eq!(plan.antennas.len(), 4);
+        assert_eq!(plan.num_streams(), 4);
+        assert_eq!(plan.start_time, 0);
+    }
+
+    #[test]
+    fn midas_uses_remaining_antennas_when_one_is_busy() {
+        let mut mac = MidasApMac::new(4, 4, tag_table(), -82.0);
+        backlog_all(&mut mac);
+        // Antenna 3 is busy for a long time.
+        mac.carrier_sense_mut().observe(3, -50.0, 1_000_000);
+        let plan = mac.plan_transmission(0).unwrap();
+        assert!(!plan.antennas.contains(&3));
+        assert_eq!(plan.antennas.len(), 3);
+        assert!(plan.num_streams() <= 3);
+        // Clients are only those tagged to an available antenna.
+        for c in &plan.clients {
+            assert!(mac.tags().eligible(*c, &plan.antennas));
+        }
+    }
+
+    #[test]
+    fn cas_defers_whenever_any_antenna_is_busy() {
+        let mut mac = CasApMac::new(4, 4, -82.0);
+        backlog_all(&mut mac);
+        mac.carrier_sense_mut().observe(2, -50.0, 5_000);
+        assert!(!mac.can_attempt(100));
+        assert!(mac.plan_transmission(100).is_none());
+        // Once the reservation expires the AP can transmit with all antennas.
+        let plan = mac.plan_transmission(6_000).unwrap();
+        assert_eq!(plan.antennas, vec![0, 1, 2, 3]);
+        assert_eq!(plan.num_streams(), 4);
+    }
+
+    #[test]
+    fn midas_waits_for_antenna_expiring_within_difs() {
+        let mut mac = MidasApMac::new(4, 4, tag_table(), -82.0);
+        backlog_all(&mut mac);
+        let now = 1_000;
+        mac.carrier_sense_mut().observe(1, -50.0, now + 20);
+        let plan = mac.plan_transmission(now).unwrap();
+        assert!(plan.antennas.contains(&1));
+        assert_eq!(plan.start_time, now + 20);
+        // With waiting disabled the same antenna is skipped.
+        let mut no_wait = MidasApMac::new(4, 4, tag_table(), -82.0);
+        backlog_all(&mut no_wait);
+        no_wait.set_wait_window(0);
+        no_wait.carrier_sense_mut().observe(1, -50.0, now + 20);
+        let plan2 = no_wait.plan_transmission(now).unwrap();
+        assert!(!plan2.antennas.contains(&1));
+    }
+
+    #[test]
+    fn completion_dequeues_and_updates_fairness() {
+        let mut mac = MidasApMac::new(4, 4, tag_table(), -82.0);
+        backlog_all(&mut mac);
+        let plan = mac.plan_transmission(0).unwrap();
+        let served = plan.clients.clone();
+        mac.complete_transmission(&plan, 3_000);
+        for &c in &served {
+            assert!(mac.drr().deficit(c) < 0.0, "served client {c} should have a negative deficit");
+        }
+        // One packet per served client was dequeued; each started with 2.
+        for &c in &served {
+            assert_eq!(mac.backlogged_clients().iter().filter(|&&x| x == c).count(), 1);
+        }
+    }
+
+    #[test]
+    fn no_backlog_means_no_plan() {
+        let mut midas = MidasApMac::new(4, 4, tag_table(), -82.0);
+        let mut cas = CasApMac::new(4, 4, -82.0);
+        assert!(!midas.can_attempt(0));
+        assert!(!cas.can_attempt(0));
+        assert!(midas.plan_transmission(0).is_none());
+        assert!(cas.plan_transmission(0).is_none());
+    }
+
+    #[test]
+    fn midas_plans_when_cas_cannot() {
+        // The headline MAC behaviour: with one antenna busy, CAS is silent
+        // while MIDAS still transmits on the other antennas.
+        let mut midas = MidasApMac::new(4, 4, tag_table(), -82.0);
+        let mut cas = CasApMac::new(4, 4, -82.0);
+        backlog_all(&mut midas);
+        backlog_all(&mut cas);
+        midas.carrier_sense_mut().observe(0, -50.0, 1_000_000);
+        cas.carrier_sense_mut().observe(0, -50.0, 1_000_000);
+        assert!(midas.plan_transmission(10).is_some());
+        assert!(cas.plan_transmission(10).is_none());
+    }
+
+    #[test]
+    fn fairness_emerges_over_repeated_txops() {
+        let mut mac = MidasApMac::new(4, 4, tag_table(), -82.0);
+        let mut served_count = [0usize; 4];
+        for _ in 0..200 {
+            for c in 0..4 {
+                mac.enqueue(pkt(c));
+            }
+            // Only two antennas available each round.
+            let mut cs = CarrierSense::new(4, -82.0);
+            cs.observe(2, -50.0, u64::MAX);
+            cs.observe(3, -50.0, u64::MAX);
+            *mac.carrier_sense_mut() = cs;
+            if let Some(plan) = mac.plan_transmission(0) {
+                for &c in &plan.clients {
+                    served_count[c] += 1;
+                }
+                mac.complete_transmission(&plan, 3_000);
+            }
+        }
+        // Clients 0 and 1 are tagged to the available antennas (0, 1); they
+        // must share the service roughly equally, and clients tagged only to
+        // busy antennas are protected from being served on weak links.
+        assert!(served_count[0] > 0 && served_count[1] > 0);
+        let ratio = served_count[0] as f64 / served_count[1] as f64;
+        assert!((0.5..=2.0).contains(&ratio), "counts {served_count:?}");
+    }
+}

@@ -1,0 +1,153 @@
+//! CSMA/CA binary-exponential backoff.
+
+use crate::edca::AccessCategory;
+use crate::sim::MicroSeconds;
+use crate::timing::SLOT_US;
+use midas_channel::SimRng;
+
+/// Backoff state machine for one contending entity (an AP, or in MIDAS one
+/// antenna's contention instance).
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    category: AccessCategory,
+    /// Current contention window in slots.
+    cw: u32,
+    /// Remaining backoff slots.
+    remaining_slots: u32,
+    /// Number of consecutive failed attempts (drives the exponential growth).
+    retries: u32,
+}
+
+impl Backoff {
+    /// Creates a backoff instance for the given access category and draws an
+    /// initial backoff counter.
+    pub fn new(category: AccessCategory, rng: &mut SimRng) -> Self {
+        let mut b = Backoff {
+            category,
+            cw: category.params().cw_min,
+            remaining_slots: 0,
+            retries: 0,
+        };
+        b.draw(rng);
+        b
+    }
+
+    fn draw(&mut self, rng: &mut SimRng) {
+        self.remaining_slots = rng.uniform_usize(self.cw as usize + 1) as u32;
+    }
+
+    /// Remaining backoff in slots.
+    pub fn remaining_slots(&self) -> u32 {
+        self.remaining_slots
+    }
+
+    /// Remaining backoff duration (after the AIFS) in microseconds.
+    pub fn remaining_us(&self) -> MicroSeconds {
+        self.category.aifs_us() + self.remaining_slots as MicroSeconds * SLOT_US
+    }
+
+    /// Counts down `slots` idle slots; returns `true` when the counter
+    /// reaches zero (the entity may transmit).
+    pub fn count_down(&mut self, slots: u32) -> bool {
+        self.remaining_slots = self.remaining_slots.saturating_sub(slots);
+        self.remaining_slots == 0
+    }
+
+    /// Records a successful transmission: the contention window resets to its
+    /// minimum and a fresh counter is drawn.
+    pub fn on_success(&mut self, rng: &mut SimRng) {
+        self.cw = self.category.params().cw_min;
+        self.retries = 0;
+        self.draw(rng);
+    }
+
+    /// Records a failed transmission (collision / no ACK): the contention
+    /// window doubles up to CWmax and a fresh counter is drawn.
+    pub fn on_failure(&mut self, rng: &mut SimRng) {
+        let params = self.category.params();
+        self.cw = ((self.cw + 1) * 2 - 1).min(params.cw_max);
+        self.retries += 1;
+        self.draw(rng);
+    }
+
+    /// Number of consecutive failures so far.
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// Current contention window in slots.
+    pub fn contention_window(&self) -> u32 {
+        self.cw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_counter_is_within_cw_min() {
+        let mut rng = SimRng::new(1);
+        for _ in 0..200 {
+            let b = Backoff::new(AccessCategory::BestEffort, &mut rng);
+            assert!(b.remaining_slots() <= 15);
+        }
+    }
+
+    #[test]
+    fn count_down_reaches_zero_and_reports_ready() {
+        let mut rng = SimRng::new(2);
+        let mut b = Backoff::new(AccessCategory::BestEffort, &mut rng);
+        let slots = b.remaining_slots();
+        if slots > 0 {
+            assert!(!b.count_down(slots - 1));
+        }
+        assert!(b.count_down(1));
+        assert!(b.count_down(5), "stays ready once at zero");
+    }
+
+    #[test]
+    fn failure_doubles_window_up_to_max() {
+        let mut rng = SimRng::new(3);
+        let mut b = Backoff::new(AccessCategory::BestEffort, &mut rng);
+        assert_eq!(b.contention_window(), 15);
+        b.on_failure(&mut rng);
+        assert_eq!(b.contention_window(), 31);
+        b.on_failure(&mut rng);
+        assert_eq!(b.contention_window(), 63);
+        for _ in 0..10 {
+            b.on_failure(&mut rng);
+        }
+        assert_eq!(b.contention_window(), 1023);
+        assert!(b.retries() >= 12);
+        b.on_success(&mut rng);
+        assert_eq!(b.contention_window(), 15);
+        assert_eq!(b.retries(), 0);
+    }
+
+    #[test]
+    fn remaining_us_includes_aifs() {
+        let mut rng = SimRng::new(4);
+        let b = Backoff::new(AccessCategory::Voice, &mut rng);
+        assert!(b.remaining_us() >= AccessCategory::Voice.aifs_us());
+        assert_eq!(
+            b.remaining_us(),
+            AccessCategory::Voice.aifs_us() + b.remaining_slots() as u64 * SLOT_US
+        );
+    }
+
+    #[test]
+    fn voice_backoff_is_statistically_shorter_than_background() {
+        let mut rng = SimRng::new(5);
+        let n = 500;
+        let mean = |cat: AccessCategory, rng: &mut SimRng| -> f64 {
+            (0..n)
+                .map(|_| Backoff::new(cat, rng).remaining_us() as f64)
+                .sum::<f64>()
+                / n as f64
+        };
+        let voice = mean(AccessCategory::Voice, &mut rng);
+        let background = mean(AccessCategory::Background, &mut rng);
+        assert!(voice < background);
+    }
+}

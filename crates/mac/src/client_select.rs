@@ -1,0 +1,169 @@
+//! Antenna-specific, fairness-driven client selection (paper §3.2.5).
+//!
+//! Once opportunistic antenna selection has produced the ordered list of
+//! available antennas, MIDAS walks the antennas in that order (primary
+//! first).  For each antenna it considers only the backlogged clients whose
+//! packets are *tagged* to that antenna, picks the one with the largest DRR
+//! deficit, and removes it from further consideration.  The result is one
+//! client per available antenna (fewer if the queues run dry), after which
+//! the MU-MIMO transmission is precoded jointly from all selected antennas to
+//! all selected clients.
+
+use crate::drr::DrrScheduler;
+use crate::tagging::TagTable;
+use midas_channel::SimRng;
+
+/// Selects clients for an MU-MIMO transmission the MIDAS way.
+///
+/// * `available_antennas` — antennas taking part, primary first (§3.2.3).
+/// * `backlogged_clients` — clients with at least one queued packet.
+/// * `tags` — the virtual packet tagging table.
+/// * `drr` — the fairness state.
+///
+/// Returns at most one client per antenna, in antenna order.
+pub fn select_clients_midas(
+    available_antennas: &[usize],
+    backlogged_clients: &[usize],
+    tags: &TagTable,
+    drr: &DrrScheduler,
+) -> Vec<usize> {
+    let mut selected: Vec<usize> = Vec::new();
+    for &antenna in available_antennas {
+        let candidates: Vec<usize> = backlogged_clients
+            .iter()
+            .copied()
+            .filter(|&c| tags.is_tagged(c, antenna) && !selected.contains(&c))
+            .collect();
+        if let Some(client) = drr.select(&candidates) {
+            selected.push(client);
+        }
+    }
+    selected
+}
+
+/// The CAS baseline: the AP treats its antennas as interchangeable and simply
+/// serves the `num_streams` backlogged clients with the largest deficits
+/// (fairness only, no antenna awareness).
+pub fn select_clients_cas(
+    num_streams: usize,
+    backlogged_clients: &[usize],
+    drr: &DrrScheduler,
+) -> Vec<usize> {
+    let mut remaining: Vec<usize> = backlogged_clients.to_vec();
+    let mut selected = Vec::new();
+    while selected.len() < num_streams {
+        match drr.select(&remaining) {
+            Some(c) => {
+                selected.push(c);
+                remaining.retain(|&x| x != c);
+            }
+            None => break,
+        }
+    }
+    selected
+}
+
+/// A random client selection of up to `num_streams` clients — the comparison
+/// point of Fig. 14 ("a scheme that chooses two clients randomly").
+pub fn select_clients_random(
+    num_streams: usize,
+    backlogged_clients: &[usize],
+    rng: &mut SimRng,
+) -> Vec<usize> {
+    let k = num_streams.min(backlogged_clients.len());
+    rng.choose_indices(backlogged_clients.len(), k)
+        .into_iter()
+        .map(|i| backlogged_clients[i])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4 clients, 4 antennas, client c strongest at antenna c, second
+    /// strongest at antenna (c+1) % 4.
+    fn tags() -> TagTable {
+        let mut rssi = vec![vec![-80.0; 4]; 4];
+        for (c, row) in rssi.iter_mut().enumerate() {
+            row[c] = -40.0;
+            row[(c + 1) % 4] = -55.0;
+        }
+        TagTable::from_rssi(&rssi, 2)
+    }
+
+    #[test]
+    fn one_client_per_available_antenna() {
+        let t = tags();
+        let drr = DrrScheduler::new(4);
+        let picked = select_clients_midas(&[0, 1, 2, 3], &[0, 1, 2, 3], &t, &drr);
+        assert_eq!(picked.len(), 4);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "no client picked twice: {picked:?}");
+    }
+
+    #[test]
+    fn only_tagged_clients_are_considered_per_antenna() {
+        let t = tags();
+        let drr = DrrScheduler::new(4);
+        // Only antenna 2 available: clients tagged to antenna 2 are client 2
+        // (primary tag) and client 1 (secondary tag).
+        let picked = select_clients_midas(&[2], &[0, 1, 2, 3], &t, &drr);
+        assert_eq!(picked.len(), 1);
+        assert!(picked[0] == 1 || picked[0] == 2);
+    }
+
+    #[test]
+    fn drr_deficit_breaks_ties_between_tagged_clients() {
+        let t = tags();
+        let mut drr = DrrScheduler::new(4);
+        // Give client 1 a big deficit so it wins antenna 2's slot over client 2.
+        drr.update_after_txop(&[2], &[1], 3_000);
+        let picked = select_clients_midas(&[2], &[1, 2], &t, &drr);
+        assert_eq!(picked, vec![1]);
+    }
+
+    #[test]
+    fn clients_without_backlog_are_never_selected() {
+        let t = tags();
+        let drr = DrrScheduler::new(4);
+        let picked = select_clients_midas(&[0, 1, 2, 3], &[1, 3], &t, &drr);
+        assert!(picked.iter().all(|c| [1usize, 3].contains(c)));
+        assert!(picked.len() <= 2);
+    }
+
+    #[test]
+    fn a_client_is_not_reused_for_a_later_antenna() {
+        // Client 0 is tagged to antennas 0 and 1; with only those two antennas
+        // available and only client 0 backlogged, it must be picked once.
+        let t = tags();
+        let drr = DrrScheduler::new(4);
+        let picked = select_clients_midas(&[0, 1], &[0], &t, &drr);
+        assert_eq!(picked, vec![0]);
+    }
+
+    #[test]
+    fn cas_selection_is_fairness_only() {
+        let mut drr = DrrScheduler::new(4);
+        drr.update_after_txop(&[0, 1], &[2, 3], 3_000);
+        let picked = select_clients_cas(2, &[0, 1, 2, 3], &drr);
+        assert_eq!(picked.len(), 2);
+        assert!(picked.contains(&2) && picked.contains(&3));
+        // Asking for more streams than clients returns everyone.
+        let all = select_clients_cas(8, &[0, 1, 2], &drr);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn random_selection_returns_distinct_backlogged_clients() {
+        let mut rng = SimRng::new(9);
+        for _ in 0..50 {
+            let picked = select_clients_random(2, &[4, 5, 6, 7], &mut rng);
+            assert_eq!(picked.len(), 2);
+            assert_ne!(picked[0], picked[1]);
+            assert!(picked.iter().all(|c| (4..8).contains(c)));
+        }
+    }
+}

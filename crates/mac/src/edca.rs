@@ -1,0 +1,132 @@
+//! 802.11e EDCA access categories.
+//!
+//! 802.11ac adopts 802.11e's four-queue MAC and re-purposes it for MU-MIMO
+//! (paper §3.3): the access category that wins the internal contention
+//! becomes the *primary* class of the MU-MIMO transmission and other classes
+//! can contribute secondary clients if the primary class does not fill all
+//! the streams.
+
+use crate::sim::MicroSeconds;
+use crate::timing;
+
+/// The four EDCA access categories, from lowest to highest priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessCategory {
+    /// Background traffic.
+    Background,
+    /// Best-effort traffic.
+    BestEffort,
+    /// Video traffic.
+    Video,
+    /// Voice traffic.
+    Voice,
+}
+
+impl AccessCategory {
+    /// All categories, lowest priority first.
+    pub const ALL: [AccessCategory; 4] = [
+        AccessCategory::Background,
+        AccessCategory::BestEffort,
+        AccessCategory::Video,
+        AccessCategory::Voice,
+    ];
+
+    /// The EDCA parameter set of this category (802.11 defaults for an OFDM PHY).
+    pub fn params(self) -> EdcaParams {
+        match self {
+            AccessCategory::Background => EdcaParams {
+                aifsn: 7,
+                cw_min: 15,
+                cw_max: 1023,
+                txop_limit_us: 0,
+            },
+            AccessCategory::BestEffort => EdcaParams {
+                aifsn: 3,
+                cw_min: 15,
+                cw_max: 1023,
+                txop_limit_us: 0,
+            },
+            AccessCategory::Video => EdcaParams {
+                aifsn: 2,
+                cw_min: 7,
+                cw_max: 15,
+                txop_limit_us: 3_008,
+            },
+            AccessCategory::Voice => EdcaParams {
+                aifsn: 2,
+                cw_min: 3,
+                cw_max: 7,
+                txop_limit_us: 1_504,
+            },
+        }
+    }
+
+    /// Arbitration inter-frame space of this category in microseconds.
+    pub fn aifs_us(self) -> MicroSeconds {
+        timing::aifs_us(self.params().aifsn)
+    }
+
+    /// TXOP limit of this category; zero means a single MSDU, which the
+    /// simulator treats as one default TXOP.
+    pub fn txop_limit_us(self) -> MicroSeconds {
+        let limit = self.params().txop_limit_us;
+        if limit == 0 {
+            timing::DEFAULT_TXOP_US
+        } else {
+            limit
+        }
+    }
+}
+
+/// EDCA parameters of one access category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdcaParams {
+    /// AIFS number (number of slots added to SIFS).
+    pub aifsn: u32,
+    /// Minimum contention window (slots).
+    pub cw_min: u32,
+    /// Maximum contention window (slots).
+    pub cw_max: u32,
+    /// TXOP limit in microseconds (0 = one MSDU per access).
+    pub txop_limit_us: MicroSeconds,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_order_is_voice_highest() {
+        assert!(AccessCategory::Voice > AccessCategory::Video);
+        assert!(AccessCategory::Video > AccessCategory::BestEffort);
+        assert!(AccessCategory::BestEffort > AccessCategory::Background);
+    }
+
+    #[test]
+    fn higher_priority_has_shorter_aifs_and_smaller_cw() {
+        let voice = AccessCategory::Voice.params();
+        let background = AccessCategory::Background.params();
+        assert!(voice.aifsn < background.aifsn);
+        assert!(voice.cw_min < background.cw_min);
+        assert!(voice.cw_max < background.cw_max);
+        assert!(AccessCategory::Voice.aifs_us() < AccessCategory::Background.aifs_us());
+    }
+
+    #[test]
+    fn txop_limit_falls_back_to_default_for_zero() {
+        assert_eq!(
+            AccessCategory::BestEffort.txop_limit_us(),
+            timing::DEFAULT_TXOP_US
+        );
+        assert_eq!(AccessCategory::Video.txop_limit_us(), 3_008);
+    }
+
+    #[test]
+    fn all_lists_every_category_in_priority_order() {
+        let all = AccessCategory::ALL;
+        assert_eq!(all.len(), 4);
+        for w in all.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

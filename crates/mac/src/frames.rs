@@ -1,0 +1,109 @@
+//! Frame types and air-time accounting.
+//!
+//! The simulator does not serialise real 802.11 frames; it only needs to know
+//! *what* is on the air and for *how long*, because that is what drives
+//! carrier sensing, NAV setting and throughput accounting.
+
+use crate::sim::MicroSeconds;
+use crate::timing;
+
+/// The kinds of frames the simulator puts on the air.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Request-to-send control frame.
+    Rts,
+    /// Clear-to-send control frame.
+    Cts,
+    /// VHT NDP announcement (start of a sounding exchange).
+    NdpAnnouncement,
+    /// Null data packet used for channel measurement.
+    Ndp,
+    /// Compressed beamforming report from a client.
+    BeamformingReport,
+    /// (MU-)MIMO data transmission.
+    Data,
+    /// Acknowledgement / block acknowledgement.
+    Ack,
+}
+
+/// A frame on the air, with enough metadata for NAV and throughput accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Frame {
+    /// What kind of frame this is.
+    pub kind: FrameKind,
+    /// Transmitting AP (or AP the client is associated to, for reports).
+    pub ap_id: usize,
+    /// Air time of the frame itself in microseconds.
+    pub duration_us: MicroSeconds,
+    /// NAV duration advertised in the frame header: how long the medium will
+    /// remain busy *after* this frame ends (covers SIFS + responses + data).
+    pub nav_reservation_us: MicroSeconds,
+}
+
+impl Frame {
+    /// Builds a data frame of the given payload size and PHY rate.
+    pub fn data(ap_id: usize, bytes: usize, rate_mbps: f64) -> Frame {
+        Frame {
+            kind: FrameKind::Data,
+            ap_id,
+            duration_us: timing::data_frame_us(bytes, rate_mbps),
+            nav_reservation_us: timing::SIFS_US + timing::ACK_US,
+        }
+    }
+
+    /// Builds an RTS frame protecting an exchange of the given total duration.
+    pub fn rts(ap_id: usize, protected_us: MicroSeconds) -> Frame {
+        Frame {
+            kind: FrameKind::Rts,
+            ap_id,
+            duration_us: timing::RTS_US,
+            nav_reservation_us: protected_us,
+        }
+    }
+
+    /// Builds a MU-MIMO data burst occupying a whole TXOP.
+    pub fn mu_data_txop(ap_id: usize, txop_us: MicroSeconds) -> Frame {
+        Frame {
+            kind: FrameKind::Data,
+            ap_id,
+            duration_us: txop_us,
+            nav_reservation_us: timing::SIFS_US + timing::ACK_US,
+        }
+    }
+
+    /// Total time the medium is considered reserved because of this frame:
+    /// its own air time plus the NAV it advertises.
+    pub fn busy_until_offset(&self) -> MicroSeconds {
+        self.duration_us + self.nav_reservation_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_frame_duration_includes_header_and_ack_reservation() {
+        let f = Frame::data(0, 1500, 54.0);
+        assert_eq!(f.kind, FrameKind::Data);
+        assert_eq!(f.duration_us, timing::data_frame_us(1500, 54.0));
+        assert_eq!(f.nav_reservation_us, timing::SIFS_US + timing::ACK_US);
+        assert_eq!(f.busy_until_offset(), f.duration_us + f.nav_reservation_us);
+    }
+
+    #[test]
+    fn rts_reserves_the_protected_duration() {
+        let f = Frame::rts(2, 1000);
+        assert_eq!(f.kind, FrameKind::Rts);
+        assert_eq!(f.ap_id, 2);
+        assert_eq!(f.duration_us, timing::RTS_US);
+        assert_eq!(f.nav_reservation_us, 1000);
+    }
+
+    #[test]
+    fn mu_txop_occupies_the_full_txop() {
+        let f = Frame::mu_data_txop(1, timing::DEFAULT_TXOP_US);
+        assert_eq!(f.duration_us, timing::DEFAULT_TXOP_US);
+        assert!(f.busy_until_offset() > timing::DEFAULT_TXOP_US);
+    }
+}

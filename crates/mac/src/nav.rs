@@ -1,0 +1,177 @@
+//! Network allocation vector (virtual carrier sensing) timers.
+//!
+//! A NAV timer records until when the medium is reserved by an overheard
+//! frame.  A CAS 802.11ac AP keeps a single NAV for the whole device; MIDAS
+//! provisions one NAV *per distributed antenna* (§3.2.2), which is what lets
+//! it see that some antennas are free while others are busy.
+
+use crate::sim::MicroSeconds;
+
+/// A single NAV timer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NavTimer {
+    /// Absolute time until which the medium is reserved (0 = never set).
+    busy_until: MicroSeconds,
+}
+
+impl NavTimer {
+    /// Creates a cleared NAV.
+    pub fn new() -> Self {
+        NavTimer { busy_until: 0 }
+    }
+
+    /// Updates the NAV with a reservation ending at `until`.  Per the
+    /// standard, a NAV only ever grows: reservations shorter than the current
+    /// one are ignored.
+    pub fn set(&mut self, until: MicroSeconds) {
+        if until > self.busy_until {
+            self.busy_until = until;
+        }
+    }
+
+    /// Clears the NAV (e.g. on CF-End).
+    pub fn reset(&mut self) {
+        self.busy_until = 0;
+    }
+
+    /// Whether the medium is virtually busy at time `now`.
+    pub fn is_busy(&self, now: MicroSeconds) -> bool {
+        now < self.busy_until
+    }
+
+    /// Absolute expiry time of the reservation.
+    pub fn expiry(&self) -> MicroSeconds {
+        self.busy_until
+    }
+
+    /// Time remaining until expiry at `now` (0 when already idle).
+    pub fn remaining(&self, now: MicroSeconds) -> MicroSeconds {
+        self.busy_until.saturating_sub(now)
+    }
+}
+
+/// A bank of per-antenna NAV timers (the MIDAS arrangement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NavBank {
+    timers: Vec<NavTimer>,
+}
+
+impl NavBank {
+    /// Creates `n` cleared NAV timers.
+    pub fn new(n: usize) -> Self {
+        NavBank {
+            timers: vec![NavTimer::new(); n],
+        }
+    }
+
+    /// Number of timers in the bank.
+    pub fn len(&self) -> usize {
+        self.timers.len()
+    }
+
+    /// Whether the bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.timers.is_empty()
+    }
+
+    /// The timer for antenna `idx`.
+    pub fn timer(&self, idx: usize) -> &NavTimer {
+        &self.timers[idx]
+    }
+
+    /// Sets the NAV of antenna `idx` to end at `until`.
+    pub fn set(&mut self, idx: usize, until: MicroSeconds) {
+        self.timers[idx].set(until);
+    }
+
+    /// Sets every NAV in the bank (what a CAS AP effectively does).
+    pub fn set_all(&mut self, until: MicroSeconds) {
+        for t in &mut self.timers {
+            t.set(until);
+        }
+    }
+
+    /// Indices of antennas whose NAV is idle at `now`.
+    pub fn idle_antennas(&self, now: MicroSeconds) -> Vec<usize> {
+        self.timers
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_busy(now))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of antennas whose NAV is busy at `now`, with their expiry times.
+    pub fn busy_antennas(&self, now: MicroSeconds) -> Vec<(usize, MicroSeconds)> {
+        self.timers
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_busy(now))
+            .map(|(i, t)| (i, t.expiry()))
+            .collect()
+    }
+
+    /// Whether *any* antenna is busy (the conservative single-state view a
+    /// CAS MAC would take).
+    pub fn any_busy(&self, now: MicroSeconds) -> bool {
+        self.timers.iter().any(|t| t.is_busy(now))
+    }
+
+    /// Whether *all* antennas are busy.
+    pub fn all_busy(&self, now: MicroSeconds) -> bool {
+        !self.timers.is_empty() && self.timers.iter().all(|t| t.is_busy(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nav_only_grows() {
+        let mut nav = NavTimer::new();
+        nav.set(100);
+        nav.set(50);
+        assert_eq!(nav.expiry(), 100);
+        nav.set(200);
+        assert_eq!(nav.expiry(), 200);
+    }
+
+    #[test]
+    fn busy_and_remaining_respect_current_time() {
+        let mut nav = NavTimer::new();
+        nav.set(100);
+        assert!(nav.is_busy(0));
+        assert!(nav.is_busy(99));
+        assert!(!nav.is_busy(100));
+        assert_eq!(nav.remaining(40), 60);
+        assert_eq!(nav.remaining(150), 0);
+        nav.reset();
+        assert!(!nav.is_busy(0));
+    }
+
+    #[test]
+    fn bank_tracks_antennas_independently() {
+        let mut bank = NavBank::new(4);
+        bank.set(1, 100);
+        bank.set(3, 50);
+        assert_eq!(bank.idle_antennas(60), vec![0, 2, 3]);
+        assert_eq!(bank.busy_antennas(60), vec![(1, 100)]);
+        assert!(bank.any_busy(60));
+        assert!(!bank.all_busy(60));
+        bank.set_all(200);
+        assert!(bank.all_busy(150));
+        assert!(bank.idle_antennas(150).is_empty());
+        assert_eq!(bank.len(), 4);
+    }
+
+    #[test]
+    fn cas_view_is_more_conservative_than_per_antenna_view() {
+        // One busy antenna makes the whole AP busy under the CAS single-state
+        // approximation, while MIDAS still sees three idle antennas.
+        let mut bank = NavBank::new(4);
+        bank.set(0, 1_000);
+        assert!(bank.any_busy(10));
+        assert_eq!(bank.idle_antennas(10).len(), 3);
+    }
+}

@@ -1,0 +1,176 @@
+//! Per-client, per-access-category transmit queues at the AP.
+
+use crate::edca::AccessCategory;
+use crate::sim::MicroSeconds;
+use std::collections::VecDeque;
+
+/// A queued downlink packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Destination client (topology-wide client index).
+    pub client: usize,
+    /// Payload size in bytes.
+    pub bytes: usize,
+    /// Arrival time at the AP queue.
+    pub arrival_us: MicroSeconds,
+    /// Traffic class of the packet.
+    pub category: AccessCategory,
+}
+
+/// The AP's downlink transmit queues: one FIFO per access category.
+#[derive(Debug, Clone, Default)]
+pub struct TxQueues {
+    queues: [VecDeque<Packet>; 4],
+}
+
+fn cat_index(cat: AccessCategory) -> usize {
+    match cat {
+        AccessCategory::Background => 0,
+        AccessCategory::BestEffort => 1,
+        AccessCategory::Video => 2,
+        AccessCategory::Voice => 3,
+    }
+}
+
+impl TxQueues {
+    /// Creates empty queues.
+    pub fn new() -> Self {
+        TxQueues::default()
+    }
+
+    /// Enqueues a packet into its category's FIFO.
+    pub fn enqueue(&mut self, packet: Packet) {
+        self.queues[cat_index(packet.category)].push_back(packet);
+    }
+
+    /// Total number of queued packets across categories.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Whether all queues are empty.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+
+    /// Number of packets queued for a given client (any category).
+    pub fn backlog_for(&self, client: usize) -> usize {
+        self.queues
+            .iter()
+            .map(|q| q.iter().filter(|p| p.client == client).count())
+            .sum()
+    }
+
+    /// Clients that currently have at least one queued packet in `category`.
+    pub fn active_clients(&self, category: AccessCategory) -> Vec<usize> {
+        let mut clients: Vec<usize> = self.queues[cat_index(category)]
+            .iter()
+            .map(|p| p.client)
+            .collect();
+        clients.sort_unstable();
+        clients.dedup();
+        clients
+    }
+
+    /// Clients with at least one queued packet in any category, highest
+    /// priority category first (used to fill secondary MU-MIMO streams).
+    pub fn active_clients_any(&self) -> Vec<usize> {
+        let mut clients = Vec::new();
+        for cat in AccessCategory::ALL.iter().rev() {
+            for c in self.active_clients(*cat) {
+                if !clients.contains(&c) {
+                    clients.push(c);
+                }
+            }
+        }
+        clients
+    }
+
+    /// Removes and returns the oldest packet for `client` in `category`.
+    pub fn dequeue_for(&mut self, client: usize, category: AccessCategory) -> Option<Packet> {
+        let q = &mut self.queues[cat_index(category)];
+        let pos = q.iter().position(|p| p.client == client)?;
+        q.remove(pos)
+    }
+
+    /// Removes and returns the oldest packet for `client` in any category,
+    /// searching from the highest-priority category down.
+    pub fn dequeue_for_any(&mut self, client: usize) -> Option<Packet> {
+        for cat in AccessCategory::ALL.iter().rev() {
+            if let Some(p) = self.dequeue_for(client, *cat) {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Peeks at the head-of-line packet of a category.
+    pub fn peek(&self, category: AccessCategory) -> Option<&Packet> {
+        self.queues[cat_index(category)].front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(client: usize, cat: AccessCategory, t: MicroSeconds) -> Packet {
+        Packet {
+            client,
+            bytes: 1500,
+            arrival_us: t,
+            category: cat,
+        }
+    }
+
+    #[test]
+    fn enqueue_dequeue_is_fifo_per_client() {
+        let mut q = TxQueues::new();
+        q.enqueue(pkt(1, AccessCategory::BestEffort, 10));
+        q.enqueue(pkt(2, AccessCategory::BestEffort, 20));
+        q.enqueue(pkt(1, AccessCategory::BestEffort, 30));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.backlog_for(1), 2);
+        let first = q.dequeue_for(1, AccessCategory::BestEffort).unwrap();
+        assert_eq!(first.arrival_us, 10);
+        let second = q.dequeue_for(1, AccessCategory::BestEffort).unwrap();
+        assert_eq!(second.arrival_us, 30);
+        assert!(q.dequeue_for(1, AccessCategory::BestEffort).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn active_clients_deduplicates_and_sorts() {
+        let mut q = TxQueues::new();
+        q.enqueue(pkt(3, AccessCategory::Video, 1));
+        q.enqueue(pkt(1, AccessCategory::Video, 2));
+        q.enqueue(pkt(3, AccessCategory::Video, 3));
+        q.enqueue(pkt(7, AccessCategory::BestEffort, 4));
+        assert_eq!(q.active_clients(AccessCategory::Video), vec![1, 3]);
+        assert_eq!(q.active_clients(AccessCategory::BestEffort), vec![7]);
+        // Any-category list puts higher-priority clients first.
+        assert_eq!(q.active_clients_any(), vec![1, 3, 7]);
+    }
+
+    #[test]
+    fn dequeue_any_prefers_higher_priority() {
+        let mut q = TxQueues::new();
+        q.enqueue(pkt(5, AccessCategory::Background, 1));
+        q.enqueue(pkt(5, AccessCategory::Voice, 2));
+        let p = q.dequeue_for_any(5).unwrap();
+        assert_eq!(p.category, AccessCategory::Voice);
+        let p = q.dequeue_for_any(5).unwrap();
+        assert_eq!(p.category, AccessCategory::Background);
+        assert!(q.dequeue_for_any(5).is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = TxQueues::new();
+        q.enqueue(pkt(1, AccessCategory::BestEffort, 10));
+        assert!(q.peek(AccessCategory::BestEffort).is_some());
+        assert_eq!(q.len(), 1);
+        assert!(q.peek(AccessCategory::Voice).is_none());
+    }
+}

@@ -1,0 +1,161 @@
+//! Minimal discrete-event scheduling core.
+//!
+//! The network simulator advances time in microsecond ticks driven by a
+//! priority queue of timestamped events.  The event payload is generic so the
+//! same engine serves unit tests and the full multi-AP simulation in
+//! `midas-net`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation time in microseconds.
+pub type MicroSeconds = u64;
+
+/// A scheduled event: a timestamp, a tie-breaking sequence number and a
+/// caller-defined payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Scheduled<E> {
+    time: MicroSeconds,
+    seq: u64,
+    event: E,
+}
+
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A microsecond-resolution event queue.
+///
+/// Events scheduled for the same instant are delivered in scheduling order
+/// (FIFO), which keeps simulations deterministic.
+#[derive(Debug, Default)]
+pub struct EventQueue<E: Eq> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    now: MicroSeconds,
+    next_seq: u64,
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> MicroSeconds {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics when scheduling in the past (before the current time).
+    pub fn schedule_at(&mut self, time: MicroSeconds, event: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule event in the past ({} < {})",
+            time,
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { time, seq, event }));
+    }
+
+    /// Schedules `event` after a relative delay from the current time.
+    pub fn schedule_in(&mut self, delay: MicroSeconds, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(MicroSeconds, E)> {
+        self.heap.pop().map(|Reverse(s)| {
+            self.now = s.time;
+            (s.time, s.event)
+        })
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<MicroSeconds> {
+        self.heap.peek().map(|Reverse(s)| s.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_come_out_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, "c");
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), 30);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5, 1u32);
+        q.schedule_at(5, 2u32);
+        q.schedule_at(5, 3u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "first");
+        let _ = q.pop();
+        q.schedule_in(50, "second");
+        assert_eq!(q.peek_time(), Some(150));
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0);
+        q.schedule_at(42, ());
+        assert!(!q.is_empty());
+        assert_eq!(q.len(), 1);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, 42);
+        assert_eq!(q.now(), 42);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, ());
+        let _ = q.pop();
+        q.schedule_at(50, ());
+    }
+}

@@ -1,0 +1,151 @@
+//! Paired CAS/DAS deployments and the paper's multi-AP scenarios.
+//!
+//! Most of the paper's comparisons hold the AP and client positions fixed and
+//! change only how the AP's antennas are deployed (co-located vs distributed).
+//! [`PairedTopology`] captures that: one set of APs and clients realised in
+//! both a CAS and a DAS variant so results are directly comparable.
+
+use midas_channel::geometry::{Point, Rect};
+use midas_channel::topology::{
+    eight_ap_large_scale, multi_ap, place_antennas, three_ap_testbed, Topology, TopologyConfig,
+};
+use midas_channel::{DeploymentKind, Environment, SimRng};
+
+/// Topology configuration following the paper's deployment guidance (§7):
+/// DAS antennas are placed at 50–75 % of the AP's CAS coverage range, with
+/// the 60° sector constraint of §5.3.1.
+///
+/// The multi-AP experiments (Figs. 12, 15, 16) use this config; the
+/// single-AP capacity experiments (Figs. 8–10) use the tighter 5–10 m
+/// placement quoted in §5.1 via [`TopologyConfig::das`].
+pub fn paper_das_config(env: &Environment, antennas: usize, clients: usize) -> TopologyConfig {
+    let range = env.coverage_range_m();
+    TopologyConfig {
+        das_radius_min_m: 0.5 * range,
+        das_radius_max_m: 0.75 * range,
+        min_sector_deg: 60.0,
+        ..TopologyConfig::das(antennas, clients)
+    }
+}
+
+/// A CAS and a DAS realisation of the same AP/client layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairedTopology {
+    /// The co-located-antenna variant.
+    pub cas: Topology,
+    /// The distributed-antenna variant.
+    pub das: Topology,
+}
+
+impl PairedTopology {
+    /// Builds the paired topology by re-deploying the antennas of `das` as a
+    /// co-located array at each AP position, keeping APs and clients.
+    pub fn from_das(das: Topology, config: &TopologyConfig, rng: &mut SimRng) -> Self {
+        let cas_config = TopologyConfig {
+            kind: DeploymentKind::Cas,
+            ..*config
+        };
+        let mut cas = das.clone();
+        for ap in &mut cas.aps {
+            ap.kind = DeploymentKind::Cas;
+            ap.antennas = place_antennas(ap.position, &cas_config, &das.region, rng);
+        }
+        PairedTopology { cas, das }
+    }
+
+    /// Generates a paired single-AP topology in a square region.
+    pub fn single_ap(config: &TopologyConfig, region_size_m: f64, rng: &mut SimRng) -> Self {
+        let das_config = TopologyConfig {
+            kind: DeploymentKind::Das,
+            ..*config
+        };
+        let region = Rect::new(Point::new(0.0, 0.0), region_size_m, region_size_m);
+        let das = multi_ap(&das_config, region, &[region.center()], rng);
+        PairedTopology::from_das(das, config, rng)
+    }
+
+    /// Generates the paired 3-AP testbed layout of §5.4 (15 m AP spacing).
+    pub fn three_ap(config: &TopologyConfig, rng: &mut SimRng) -> Self {
+        let das_config = TopologyConfig {
+            kind: DeploymentKind::Das,
+            ..*config
+        };
+        let das = three_ap_testbed(&das_config, rng);
+        PairedTopology::from_das(das, config, rng)
+    }
+
+    /// Generates the paired 8-AP large-scale layout of §5.5 (60 × 60 m, no AP
+    /// overhears more than three others, DAS antennas ≥ 5 m apart).
+    pub fn eight_ap(config: &TopologyConfig, env: &Environment, rng: &mut SimRng) -> Self {
+        let das_config = TopologyConfig {
+            kind: DeploymentKind::Das,
+            min_antenna_separation_m: config.min_antenna_separation_m.max(5.0),
+            ..*config
+        };
+        let das = eight_ap_large_scale(&das_config, env, 3, rng);
+        PairedTopology::from_das(das, config, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paired_topologies_share_aps_and_clients() {
+        let mut rng = SimRng::new(1);
+        let cfg = TopologyConfig::das(4, 4);
+        let pair = PairedTopology::single_ap(&cfg, 40.0, &mut rng);
+        assert_eq!(pair.cas.clients, pair.das.clients);
+        assert_eq!(pair.cas.aps.len(), pair.das.aps.len());
+        for (c, d) in pair.cas.aps.iter().zip(pair.das.aps.iter()) {
+            assert_eq!(c.position, d.position);
+            assert_eq!(c.kind, DeploymentKind::Cas);
+            assert_eq!(d.kind, DeploymentKind::Das);
+        }
+    }
+
+    #[test]
+    fn cas_antennas_are_colocated_and_das_are_spread() {
+        let mut rng = SimRng::new(2);
+        let cfg = TopologyConfig::das(4, 4);
+        let pair = PairedTopology::single_ap(&cfg, 40.0, &mut rng);
+        let cas_ap = &pair.cas.aps[0];
+        let das_ap = &pair.das.aps[0];
+        for a in &cas_ap.antennas {
+            assert!(cas_ap.position.distance(a) < 0.2);
+        }
+        let spread = das_ap
+            .antennas
+            .iter()
+            .map(|a| das_ap.position.distance(a))
+            .fold(0.0f64, f64::max);
+        assert!(spread >= 5.0);
+    }
+
+    #[test]
+    fn three_ap_pair_has_three_aps_and_twelve_clients() {
+        let mut rng = SimRng::new(3);
+        let cfg = TopologyConfig::das(4, 4);
+        let pair = PairedTopology::three_ap(&cfg, &mut rng);
+        assert_eq!(pair.cas.aps.len(), 3);
+        assert_eq!(pair.das.aps.len(), 3);
+        assert_eq!(pair.das.clients.len(), 12);
+    }
+
+    #[test]
+    fn eight_ap_pair_has_eight_aps_with_separated_das_antennas() {
+        let mut rng = SimRng::new(4);
+        let cfg = TopologyConfig::das(4, 4);
+        let env = Environment::open_plan();
+        let pair = PairedTopology::eight_ap(&cfg, &env, &mut rng);
+        assert_eq!(pair.das.aps.len(), 8);
+        for ap in &pair.das.aps {
+            for i in 0..ap.antennas.len() {
+                for j in (i + 1)..ap.antennas.len() {
+                    assert!(ap.antennas[i].distance(&ap.antennas[j]) >= 4.99);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # midas-net
+//!
+//! Multi-AP network layer for the MIDAS (CoNEXT'14) reproduction: everything
+//! that happens *between* APs — carrier-sense relationships, spatial reuse,
+//! coverage and hidden terminals — plus the end-to-end PHY+MAC simulator that
+//! regenerates the paper's Figs. 12–16.
+//!
+//! * [`deployment`] — paired CAS/DAS topology generation (same APs and
+//!   clients, different antenna placement) for like-for-like comparisons.
+//! * [`contention`] — carrier-sense graphs between antennas and APs.
+//! * [`spatial_reuse`] — the simultaneous-transmission experiment of §5.3.1
+//!   (Fig. 12).
+//! * [`coverage`] — dead-zone mapping of §5.3.3 (Fig. 13).
+//! * [`hidden_terminal`] — the hidden-terminal spot analysis of §5.3.4.
+//! * [`simulator`] — round-based end-to-end network simulation combining the
+//!   MIDAS / CAS MACs with the precoders (Figs. 15 and 16).
+//! * [`metrics`] — CDFs and summary statistics used by every experiment.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod contention;
+pub mod coverage;
+pub mod deployment;
+pub mod hidden_terminal;
+pub mod metrics;
+pub mod simulator;
+pub mod spatial_reuse;
+
+pub use metrics::Cdf;
+pub use simulator::{NetworkSimConfig, NetworkSimulator, TopologyResult};

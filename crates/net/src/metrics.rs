@@ -1,0 +1,174 @@
+//! Result aggregation: empirical CDFs and summary statistics.
+//!
+//! Every figure in the paper's evaluation is either a CDF over topologies /
+//! clients or a per-topology series; this module provides the small amount of
+//! statistics machinery the bench harness needs to print them.
+
+/// An empirical cumulative distribution function over f64 samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from raw samples (NaNs are dropped).
+    pub fn new(samples: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `q`-quantile (0.0–1.0) using nearest-rank interpolation.
+    ///
+    /// # Panics
+    /// Panics on an empty CDF or a quantile outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.is_empty(), "quantile of empty CDF");
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let n = self.sorted.len();
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            self.sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+        }
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            return f64::NAN;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        *self.sorted.first().unwrap_or(&f64::NAN)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().unwrap_or(&f64::NAN)
+    }
+
+    /// Fraction of samples at or below `x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.is_empty() {
+            return f64::NAN;
+        }
+        let count = self.sorted.iter().filter(|&&s| s <= x).count();
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `(value, cumulative probability)` points of the empirical CDF, in
+    /// ascending value order — the series the paper's CDF figures plot.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+
+    /// Renders the CDF as `value<TAB>probability` rows, optionally
+    /// down-sampled to at most `max_rows` rows (evenly spaced in rank).
+    pub fn to_rows(&self, max_rows: usize) -> String {
+        let pts = self.points();
+        let step = (pts.len() / max_rows.max(1)).max(1);
+        let mut out = String::new();
+        for (i, (v, p)) in pts.iter().enumerate() {
+            if i % step == 0 || i == pts.len() - 1 {
+                out.push_str(&format!("{v:.4}\t{p:.4}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Relative gain of `new` over `baseline`, as a fraction (0.5 = +50 %).
+pub fn relative_gain(new: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        return f64::INFINITY;
+    }
+    (new - baseline) / baseline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let c = Cdf::new(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.median(), 3.0);
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(1.0), 5.0);
+        assert!((c.quantile(0.25) - 2.0).abs() < 1e-12);
+        assert!((c.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(c.min(), 1.0);
+        assert_eq!(c.max(), 5.0);
+    }
+
+    #[test]
+    fn fraction_below_matches_definition() {
+        let c = Cdf::new(&[10.0, 20.0, 30.0, 40.0]);
+        assert!((c.fraction_below(25.0) - 0.5).abs() < 1e-12);
+        assert_eq!(c.fraction_below(5.0), 0.0);
+        assert_eq!(c.fraction_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn points_are_monotone_in_both_axes() {
+        let c = Cdf::new(&[3.0, 1.0, 2.0, 2.0]);
+        let pts = c.points();
+        assert_eq!(pts.len(), 4);
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 > w[0].1);
+        }
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_samples_are_dropped() {
+        let c = Cdf::new(&[1.0, f64::NAN, 2.0]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn rows_are_downsampled() {
+        let samples: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let c = Cdf::new(&samples);
+        let rows = c.to_rows(10);
+        let count = rows.lines().count();
+        assert!(count <= 12, "rows {count}");
+    }
+
+    #[test]
+    fn relative_gain_is_signed() {
+        assert!((relative_gain(15.0, 10.0) - 0.5).abs() < 1e-12);
+        assert!((relative_gain(5.0, 10.0) + 0.5).abs() < 1e-12);
+        assert!(relative_gain(1.0, 0.0).is_infinite());
+    }
+}

@@ -1,0 +1,435 @@
+//! Round-based end-to-end network simulator (Figs. 15 and 16).
+//!
+//! The simulator plays out full-buffer downlink traffic in a multi-AP network
+//! over a sequence of TXOP rounds.  Within a round the APs attempt channel
+//! access in a random order (standing in for the backoff race); an AP — or in
+//! MIDAS, each of its distributed antennas — joins the round only if it does
+//! not carrier-sense a transmitter that already won the round.  Winning APs
+//! select clients (MIDAS: virtual packet tagging + antenna-specific DRR; CAS:
+//! fairness-only), precode (MIDAS: power-balanced; CAS: naïve global scaling)
+//! and the resulting per-client SINRs include *cross-AP interference* from
+//! every other concurrent transmission, so more spatial reuse only pays off
+//! when the interference geometry allows it — exactly the trade-off §5.4
+//! discusses.
+
+use crate::contention::ContentionGraph;
+use crate::metrics::Cdf;
+use midas_channel::geometry::Point;
+use midas_channel::topology::Topology;
+use midas_channel::{ChannelMatrix, ChannelModel, Environment, SimRng};
+use midas_linalg::CMat;
+use midas_mac::client_select::{select_clients_cas, select_clients_midas};
+use midas_mac::drr::DrrScheduler;
+use midas_mac::tagging::TagTable;
+use midas_mac::timing::DEFAULT_TXOP_US;
+use midas_phy::capacity::shannon_capacity_bps_hz;
+use midas_phy::precoder::{make_precoder, PrecoderKind};
+
+/// Which MAC discipline the APs run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacKind {
+    /// MIDAS: per-antenna carrier sensing, packet tagging, DRR per antenna.
+    Midas,
+    /// CAS baseline: single channel state, all antennas, fairness-only selection.
+    Cas,
+}
+
+/// Configuration of an end-to-end simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkSimConfig {
+    /// Propagation environment.
+    pub env: Environment,
+    /// MAC discipline.
+    pub mac: MacKind,
+    /// Precoder used by every AP.
+    pub precoder: PrecoderKind,
+    /// Number of TXOP rounds simulated.
+    pub rounds: usize,
+    /// Number of antennas each client's packets are tagged with (MIDAS only).
+    pub tag_width: usize,
+    /// Random seed for channel realisations and access order.
+    pub seed: u64,
+}
+
+impl NetworkSimConfig {
+    /// The MIDAS system configuration (DAS topology expected).
+    pub fn midas(env: Environment, seed: u64) -> Self {
+        NetworkSimConfig {
+            env,
+            mac: MacKind::Midas,
+            precoder: PrecoderKind::PowerBalanced,
+            rounds: 20,
+            tag_width: 2,
+            seed,
+        }
+    }
+
+    /// The conventional 802.11ac CAS configuration.
+    pub fn cas(env: Environment, seed: u64) -> Self {
+        NetworkSimConfig {
+            env,
+            mac: MacKind::Cas,
+            precoder: PrecoderKind::NaiveScaled,
+            rounds: 20,
+            tag_width: 2,
+            seed,
+        }
+    }
+}
+
+/// Result of simulating one topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyResult {
+    /// Aggregate network capacity per round (bit/s/Hz summed over all
+    /// concurrent streams).
+    pub per_round_capacity: Vec<f64>,
+    /// Number of concurrent streams per round.
+    pub per_round_streams: Vec<usize>,
+    /// Total service time credited to each client (µs), for fairness checks.
+    pub per_client_airtime_us: Vec<f64>,
+}
+
+impl TopologyResult {
+    /// Mean aggregate network capacity over the rounds (the per-topology value
+    /// whose CDF Figs. 15 and 16 plot).
+    pub fn mean_capacity(&self) -> f64 {
+        Cdf::new(&self.per_round_capacity).mean()
+    }
+
+    /// Mean number of concurrent streams per round.
+    pub fn mean_streams(&self) -> f64 {
+        if self.per_round_streams.is_empty() {
+            return 0.0;
+        }
+        self.per_round_streams.iter().sum::<usize>() as f64 / self.per_round_streams.len() as f64
+    }
+
+    /// Jain fairness index of the per-client airtime.
+    pub fn airtime_fairness(&self) -> f64 {
+        let x = &self.per_client_airtime_us;
+        let n = x.len() as f64;
+        let sum: f64 = x.iter().sum();
+        let sum_sq: f64 = x.iter().map(|v| v * v).sum();
+        if sum_sq == 0.0 {
+            return 1.0;
+        }
+        sum * sum / (n * sum_sq)
+    }
+}
+
+/// One concurrent transmission inside a round.
+struct ActiveTransmission {
+    ap_id: usize,
+    /// AP-local indices of the antennas used.
+    antenna_idx: Vec<usize>,
+    /// Topology-wide client indices served, aligned with precoder columns.
+    clients: Vec<usize>,
+    /// Precoding matrix (antennas × streams).
+    v: CMat,
+}
+
+/// The end-to-end network simulator bound to one topology.
+pub struct NetworkSimulator {
+    topo: Topology,
+    config: NetworkSimConfig,
+    model: ChannelModel,
+    graph: ContentionGraph,
+    rng: SimRng,
+    /// Per-AP channel from the AP's antennas to *all* clients
+    /// (rows = topology-wide client index).
+    channels: Vec<ChannelMatrix>,
+    /// Per-AP fairness state over the AP's own clients (AP-local indices).
+    drr: Vec<DrrScheduler>,
+    /// Per-AP tag tables over the AP's own clients (AP-local indices).
+    tags: Vec<TagTable>,
+}
+
+impl NetworkSimulator {
+    /// Creates a simulator for a topology.
+    pub fn new(topo: Topology, config: NetworkSimConfig) -> Self {
+        let mut model = ChannelModel::new(config.env, config.seed);
+        let graph = ContentionGraph::new(config.env, config.seed ^ 0x5151);
+        let rng = SimRng::new(config.seed).fork(0xAC);
+
+        let all_client_positions: Vec<Point> = topo.clients.iter().map(|c| c.position).collect();
+        let channels: Vec<ChannelMatrix> = topo
+            .aps
+            .iter()
+            .map(|ap| model.realize_positions(&ap.antennas, &all_client_positions))
+            .collect();
+
+        let mut drr = Vec::new();
+        let mut tags = Vec::new();
+        for ap in &topo.aps {
+            let own_clients = topo.clients_of(ap.ap_id);
+            drr.push(DrrScheduler::new(own_clients.len()));
+            // Tagging is driven by mean RSSI of each own client from each antenna.
+            let rssi: Vec<Vec<f64>> = own_clients
+                .iter()
+                .map(|c| {
+                    (0..ap.num_antennas())
+                        .map(|k| channels[ap.ap_id].mean_rssi_dbm(c.id, k))
+                        .collect()
+                })
+                .collect();
+            tags.push(TagTable::from_rssi(&rssi, config.tag_width));
+        }
+
+        NetworkSimulator {
+            topo,
+            config,
+            model,
+            graph,
+            rng,
+            channels,
+            drr,
+            tags,
+        }
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Runs the configured number of rounds and returns the aggregate result.
+    pub fn run(&mut self) -> TopologyResult {
+        let num_clients = self.topo.clients.len();
+        let mut per_round_capacity = Vec::with_capacity(self.config.rounds);
+        let mut per_round_streams = Vec::with_capacity(self.config.rounds);
+        let mut per_client_airtime = vec![0.0; num_clients];
+
+        for _round in 0..self.config.rounds {
+            // Channel evolves between rounds (one TXOP apart).
+            for ch in &mut self.channels {
+                *ch = self.model.evolve(ch, DEFAULT_TXOP_US as f64 * 1e-6);
+            }
+            let transmissions = self.plan_round();
+            let capacities = self.evaluate_round(&transmissions);
+
+            let total_capacity: f64 = capacities.iter().map(|(_, c)| c).sum();
+            let total_streams: usize = transmissions.iter().map(|t| t.clients.len()).sum();
+            per_round_capacity.push(total_capacity);
+            per_round_streams.push(total_streams);
+            for (client, _) in &capacities {
+                per_client_airtime[*client] += DEFAULT_TXOP_US as f64;
+            }
+
+            // Fairness counter updates per AP.
+            for t in &transmissions {
+                let ap_clients = self.topo.clients_of(t.ap_id);
+                let local_of = |global: usize| ap_clients.iter().position(|c| c.id == global);
+                let served: Vec<usize> = t.clients.iter().filter_map(|&g| local_of(g)).collect();
+                let unserved: Vec<usize> = (0..ap_clients.len())
+                    .filter(|l| !served.contains(l))
+                    .collect();
+                self.drr[t.ap_id].update_after_txop(&served, &unserved, DEFAULT_TXOP_US);
+            }
+        }
+
+        TopologyResult {
+            per_round_capacity,
+            per_round_streams,
+            per_client_airtime_us: per_client_airtime,
+        }
+    }
+
+    /// Decides who transmits in one round.
+    fn plan_round(&mut self) -> Vec<ActiveTransmission> {
+        let num_aps = self.topo.aps.len();
+        let mut order: Vec<usize> = (0..num_aps).collect();
+        self.rng.shuffle(&mut order);
+
+        let mut active_antenna_positions: Vec<Point> = Vec::new();
+        let mut transmissions: Vec<ActiveTransmission> = Vec::new();
+
+        for &ap_id in &order {
+            let ap = &self.topo.aps[ap_id];
+            let own_clients = self.topo.clients_of(ap_id);
+            if own_clients.is_empty() {
+                continue;
+            }
+            let backlogged: Vec<usize> = (0..own_clients.len()).collect();
+
+            // Which antennas may transmit given what is already on the air?
+            let available: Vec<usize> = match self.config.mac {
+                MacKind::Midas => (0..ap.num_antennas())
+                    .filter(|&k| !self.graph.senses_any(&ap.antennas[k], &active_antenna_positions))
+                    .collect(),
+                MacKind::Cas => {
+                    let busy = ap
+                        .antennas
+                        .iter()
+                        .any(|a| self.graph.senses_any(a, &active_antenna_positions));
+                    if busy {
+                        Vec::new()
+                    } else {
+                        (0..ap.num_antennas()).collect()
+                    }
+                }
+            };
+            if available.is_empty() {
+                continue;
+            }
+
+            // Client selection.
+            let local_selected: Vec<usize> = match self.config.mac {
+                MacKind::Midas => {
+                    let eligible = self.tags[ap_id].filter_clients(&backlogged, &available);
+                    select_clients_midas(&available, &eligible, &self.tags[ap_id], &self.drr[ap_id])
+                }
+                MacKind::Cas => select_clients_cas(available.len(), &backlogged, &self.drr[ap_id]),
+            };
+            if local_selected.is_empty() {
+                continue;
+            }
+            let global_selected: Vec<usize> =
+                local_selected.iter().map(|&l| own_clients[l].id).collect();
+
+            // Precoding over the (selected clients × available antennas) channel.
+            let sub = self.channels[ap_id].select(&global_selected, &available);
+            let precoder = make_precoder(self.config.precoder);
+            let precoding = precoder.precode(&sub.h, sub.tx_power_mw, sub.noise_mw);
+
+            for &k in &available {
+                active_antenna_positions.push(ap.antennas[k]);
+            }
+            transmissions.push(ActiveTransmission {
+                ap_id,
+                antenna_idx: available,
+                clients: global_selected,
+                v: precoding.v,
+            });
+        }
+        transmissions
+    }
+
+    /// Computes per-client capacities including cross-AP interference.
+    fn evaluate_round(&self, transmissions: &[ActiveTransmission]) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        for t in transmissions {
+            let ch = &self.channels[t.ap_id];
+            for (stream_idx, &client) in t.clients.iter().enumerate() {
+                // Desired + intra-AP interference from this transmission.
+                let mut signal = 0.0;
+                let mut interference = 0.0;
+                for (other_stream, _) in t.clients.iter().enumerate() {
+                    let mut amp = midas_linalg::Complex::ZERO;
+                    for (row, &k) in t.antenna_idx.iter().enumerate() {
+                        amp += ch.h.get(client, k) * t.v.get(row, other_stream);
+                    }
+                    if other_stream == stream_idx {
+                        signal = amp.norm_sqr();
+                    } else {
+                        interference += amp.norm_sqr();
+                    }
+                }
+                // Cross-AP interference from every other concurrent transmission.
+                for other in transmissions {
+                    if std::ptr::eq(other, t) {
+                        continue;
+                    }
+                    let och = &self.channels[other.ap_id];
+                    for other_stream in 0..other.clients.len() {
+                        let mut amp = midas_linalg::Complex::ZERO;
+                        for (row, &k) in other.antenna_idx.iter().enumerate() {
+                            amp += och.h.get(client, k) * other.v.get(row, other_stream);
+                        }
+                        interference += amp.norm_sqr();
+                    }
+                }
+                let noise = ch.noise_mw;
+                let sinr = signal / (noise + interference);
+                out.push((client, shannon_capacity_bps_hz(sinr)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::PairedTopology;
+
+    fn three_ap_pair(seed: u64) -> PairedTopology {
+        let mut rng = SimRng::new(seed);
+        let cfg = crate::deployment::paper_das_config(&Environment::office_a(), 4, 4);
+        PairedTopology::three_ap(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn simulation_produces_finite_positive_capacity() {
+        let pair = three_ap_pair(1);
+        let env = Environment::office_a();
+        let mut sim = NetworkSimulator::new(pair.das, NetworkSimConfig::midas(env, 1));
+        let result = sim.run();
+        assert_eq!(result.per_round_capacity.len(), 20);
+        assert!(result.mean_capacity() > 0.0);
+        assert!(result.mean_capacity().is_finite());
+        assert!(result.mean_streams() >= 1.0);
+    }
+
+    #[test]
+    fn cas_never_exceeds_one_active_ap_in_a_shared_domain() {
+        let pair = three_ap_pair(2);
+        let env = Environment::office_a();
+        let mut sim = NetworkSimulator::new(pair.cas, NetworkSimConfig::cas(env, 2));
+        let result = sim.run();
+        // All three CAS APs overhear each other, so at most 4 streams per round.
+        for &s in &result.per_round_streams {
+            assert!(s <= 4, "round had {s} concurrent streams under CAS");
+        }
+    }
+
+    #[test]
+    fn midas_achieves_more_concurrent_streams_than_cas() {
+        let env = Environment::office_a();
+        let mut das_streams = 0.0;
+        let mut cas_streams = 0.0;
+        for seed in 0..3 {
+            let pair = three_ap_pair(10 + seed);
+            let mut das_sim = NetworkSimulator::new(pair.das, NetworkSimConfig::midas(env, seed));
+            let mut cas_sim = NetworkSimulator::new(pair.cas, NetworkSimConfig::cas(env, seed));
+            das_streams += das_sim.run().mean_streams();
+            cas_streams += cas_sim.run().mean_streams();
+        }
+        assert!(
+            das_streams > cas_streams,
+            "MIDAS mean streams {das_streams} should exceed CAS {cas_streams}"
+        );
+    }
+
+    #[test]
+    fn midas_outperforms_cas_end_to_end() {
+        // Fig. 15's qualitative claim at test scale: MIDAS clearly beats CAS.
+        let env = Environment::office_a();
+        let mut das_capacity = 0.0;
+        let mut cas_capacity = 0.0;
+        for seed in 0..3 {
+            let pair = three_ap_pair(20 + seed);
+            let mut das_sim = NetworkSimulator::new(pair.das, NetworkSimConfig::midas(env, seed));
+            let mut cas_sim = NetworkSimulator::new(pair.cas, NetworkSimConfig::cas(env, seed));
+            das_capacity += das_sim.run().mean_capacity();
+            cas_capacity += cas_sim.run().mean_capacity();
+        }
+        assert!(
+            das_capacity > cas_capacity,
+            "MIDAS capacity {das_capacity:.1} should exceed CAS {cas_capacity:.1}"
+        );
+    }
+
+    #[test]
+    fn airtime_fairness_is_reasonable_under_full_buffer_traffic() {
+        let pair = three_ap_pair(30);
+        let env = Environment::office_a();
+        let mut sim = NetworkSimulator::new(pair.das, NetworkSimConfig::midas(env, 30));
+        let result = sim.run();
+        let fairness = result.airtime_fairness();
+        assert!(
+            fairness > 0.5,
+            "Jain index {fairness} too low: {:?}",
+            result.per_client_airtime_us
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # midas-phy
+//!
+//! 802.11ac MU-MIMO physical layer for the MIDAS (CoNEXT'14) reproduction.
+//!
+//! The centrepiece is the paper's primary PHY contribution: **power-balanced
+//! zero-forcing precoding** under the 802.11ac *per-antenna* power constraint
+//! (§3.1.2), implemented in [`precoder::PowerBalancedPrecoder`] together with
+//! the baselines it is evaluated against:
+//!
+//! * [`precoder::ZfbfPrecoder`] — textbook ZFBF with equal power per stream
+//!   and only a *total* power constraint (the starting point of §3.1.1).
+//! * [`precoder::NaiveScaledPrecoder`] — ZFBF followed by a single global
+//!   scale-down so the worst antenna meets the per-antenna constraint (the
+//!   paper's baseline, Fig. 3 / Fig. 10 "w/o MIDAS precoding").
+//! * [`precoder::PowerBalancedPrecoder`] — MIDAS's iterative reverse
+//!   water-filling power balancing.
+//! * [`precoder::OptimalPrecoder`] — a numerical solver for the same
+//!   constrained problem (dual/sub-gradient method), standing in for the
+//!   MATLAB toolbox the paper uses as the upper bound in Fig. 11.
+//!
+//! Around the precoders the crate provides the measurement chain the
+//! evaluation needs: SINR matrices ([`sinr`]), Shannon capacity and VHT MCS
+//! mapping ([`capacity`], [`mcs`]), per-antenna power accounting ([`power`])
+//! and the 802.11ac sounding process with CSI error and staleness
+//! ([`sounding`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod capacity;
+pub mod mcs;
+pub mod power;
+pub mod precoder;
+pub mod sinr;
+pub mod sounding;
+
+pub use capacity::{shannon_capacity_bps_hz, sum_capacity};
+pub use precoder::{
+    NaiveScaledPrecoder, OptimalPrecoder, PowerBalancedPrecoder, Precoder, PrecoderKind,
+    Precoding, ZfbfPrecoder,
+};
+pub use sinr::SinrMatrix;
+pub use sounding::{SoundingConfig, SoundingProcess};

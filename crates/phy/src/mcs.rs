@@ -1,0 +1,105 @@
+//! 802.11ac (VHT) modulation-and-coding-scheme table.
+//!
+//! The paper reports capacity directly from SINR via the Shannon formula, but
+//! a practical 802.11ac AP quantises the rate to one of the VHT MCS levels.
+//! This module provides that mapping so the examples and the MAC simulator
+//! can also report realistic PHY data rates.  SNR thresholds are the common
+//! "waterfall" operating points used in rate-vs-range studies (they are not
+//! standardised; vendors differ by a dB or two).
+
+/// One entry of the VHT MCS table for a 20 MHz channel, single spatial stream,
+/// long guard interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McsEntry {
+    /// MCS index 0..=8 (MCS 9 is not valid at 20 MHz / 1 SS).
+    pub index: u8,
+    /// Modulation name.
+    pub modulation: &'static str,
+    /// Coding rate numerator/denominator as a float (e.g. 0.75 for 3/4).
+    pub coding_rate: f64,
+    /// PHY data rate in Mb/s (20 MHz, 1 SS, 800 ns GI).
+    pub rate_mbps: f64,
+    /// Minimum SINR in dB required to sustain the MCS at ~10% PER.
+    pub min_sinr_db: f64,
+}
+
+/// The VHT MCS table (20 MHz, one spatial stream, long GI).
+pub const VHT_MCS_TABLE: [McsEntry; 9] = [
+    McsEntry { index: 0, modulation: "BPSK", coding_rate: 0.5, rate_mbps: 6.5, min_sinr_db: 2.0 },
+    McsEntry { index: 1, modulation: "QPSK", coding_rate: 0.5, rate_mbps: 13.0, min_sinr_db: 5.0 },
+    McsEntry { index: 2, modulation: "QPSK", coding_rate: 0.75, rate_mbps: 19.5, min_sinr_db: 9.0 },
+    McsEntry { index: 3, modulation: "16-QAM", coding_rate: 0.5, rate_mbps: 26.0, min_sinr_db: 11.0 },
+    McsEntry { index: 4, modulation: "16-QAM", coding_rate: 0.75, rate_mbps: 39.0, min_sinr_db: 15.0 },
+    McsEntry { index: 5, modulation: "64-QAM", coding_rate: 2.0 / 3.0, rate_mbps: 52.0, min_sinr_db: 18.0 },
+    McsEntry { index: 6, modulation: "64-QAM", coding_rate: 0.75, rate_mbps: 58.5, min_sinr_db: 20.0 },
+    McsEntry { index: 7, modulation: "64-QAM", coding_rate: 5.0 / 6.0, rate_mbps: 65.0, min_sinr_db: 25.0 },
+    McsEntry { index: 8, modulation: "256-QAM", coding_rate: 0.75, rate_mbps: 78.0, min_sinr_db: 29.0 },
+];
+
+/// Highest MCS sustainable at the given SINR, or `None` when even MCS 0 cannot
+/// be decoded (the client is in a dead zone for data).
+pub fn select_mcs(sinr_db: f64) -> Option<McsEntry> {
+    VHT_MCS_TABLE
+        .iter()
+        .rev()
+        .find(|e| sinr_db >= e.min_sinr_db)
+        .copied()
+}
+
+/// PHY data rate (Mb/s) at the given SINR: the selected MCS rate or 0 when no
+/// MCS is decodable.
+pub fn rate_mbps(sinr_db: f64) -> f64 {
+    select_mcs(sinr_db).map_or(0.0, |e| e.rate_mbps)
+}
+
+/// Scales a single-stream MCS rate to `num_streams` spatial streams
+/// (802.11ac rates scale linearly with streams).
+pub fn rate_mbps_streams(sinr_db: f64, num_streams: usize) -> f64 {
+    rate_mbps(sinr_db) * num_streams as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_ordered_in_rate_and_threshold() {
+        for w in VHT_MCS_TABLE.windows(2) {
+            assert!(w[1].rate_mbps > w[0].rate_mbps);
+            assert!(w[1].min_sinr_db > w[0].min_sinr_db);
+            assert_eq!(w[1].index, w[0].index + 1);
+        }
+    }
+
+    #[test]
+    fn low_sinr_gets_no_mcs() {
+        assert!(select_mcs(-3.0).is_none());
+        assert_eq!(rate_mbps(-3.0), 0.0);
+    }
+
+    #[test]
+    fn selection_picks_highest_sustainable_mcs() {
+        let e = select_mcs(16.0).unwrap();
+        assert_eq!(e.index, 4);
+        let e = select_mcs(35.0).unwrap();
+        assert_eq!(e.index, 8);
+        let e = select_mcs(2.0).unwrap();
+        assert_eq!(e.index, 0);
+    }
+
+    #[test]
+    fn rate_is_monotone_in_sinr() {
+        let mut prev = -1.0;
+        for db in (-5..40).map(|x| x as f64) {
+            let r = rate_mbps(db);
+            assert!(r >= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn multi_stream_rate_scales_linearly() {
+        assert!((rate_mbps_streams(20.0, 4) - 4.0 * rate_mbps(20.0)).abs() < 1e-12);
+        assert_eq!(rate_mbps_streams(-10.0, 4), 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the precoding invariants on random channels.
+//!
+//! These check the contract of the power-balanced precoder over arbitrary
+//! (not just topology-generated) channel matrices: the per-antenna power
+//! constraint always holds, zero forcing is preserved, no stream is silenced,
+//! and the precoder is sandwiched between the naïve baseline and the
+//! unconstrained ZFBF bound.
+
+use midas_linalg::{CMat, Complex};
+use midas_phy::power;
+use midas_phy::precoder::{
+    NaiveScaledPrecoder, PowerBalancedPrecoder, Precoder, ZfbfPrecoder,
+};
+use proptest::prelude::*;
+
+/// Channel entries spanning a wide dynamic range (60 dB), which is what makes
+/// the DAS setting hard for naïve power scaling.
+fn channel_entry() -> impl Strategy<Value = Complex> {
+    ((-30.0f64..0.0), (0.0f64..std::f64::consts::TAU)).prop_map(|(mag_db, phase)| {
+        let mag = 10f64.powf(mag_db / 20.0);
+        Complex::from_polar(mag, phase)
+    })
+}
+
+fn channel_matrix(clients: usize, antennas: usize) -> impl Strategy<Value = CMat> {
+    proptest::collection::vec(channel_entry(), clients * antennas)
+        .prop_map(move |data| CMat::from_vec(clients, antennas, data))
+}
+
+/// Square and wide MU-MIMO shapes (clients <= antennas) from 2x2 to 4x6.
+fn mu_mimo_channel() -> impl Strategy<Value = CMat> {
+    (2usize..=4, 0usize..=2)
+        .prop_flat_map(|(clients, extra)| channel_matrix(clients, clients + extra))
+}
+
+/// Reject nearly rank-deficient draws where ZF directions blow up and the
+/// comparison becomes numerically meaningless.
+fn well_conditioned(h: &CMat) -> bool {
+    let svd = midas_linalg::decompose::Svd::new(h);
+    svd.rank(1e-9) == h.rows() && svd.condition_number() < 1e4
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn power_balanced_always_meets_per_antenna_constraint(h in mu_mimo_channel()) {
+        prop_assume!(well_conditioned(&h));
+        let p = 10.0;
+        let noise = 1e-6;
+        let out = PowerBalancedPrecoder::default().precode(&h, p, noise);
+        prop_assert!(power::satisfies_per_antenna(&out.v, p * (1.0 + 1e-9)),
+            "row powers {:?}", power::per_antenna_powers(&out.v));
+    }
+
+    #[test]
+    fn power_balanced_preserves_zero_forcing(h in mu_mimo_channel()) {
+        prop_assume!(well_conditioned(&h));
+        let out = PowerBalancedPrecoder::default().precode(&h, 10.0, 1e-6);
+        prop_assert!(out.sinr.max_interference() < 1e-5,
+            "residual interference {}", out.sinr.max_interference());
+    }
+
+    #[test]
+    fn power_balanced_dominates_naive_and_is_bounded_by_zfbf(h in mu_mimo_channel()) {
+        prop_assume!(well_conditioned(&h));
+        let p = 10.0;
+        let noise = 1e-6;
+        let pb = PowerBalancedPrecoder::default().precode(&h, p, noise);
+        let naive = NaiveScaledPrecoder.precode(&h, p, noise);
+        let zfbf = ZfbfPrecoder.precode(&h, p, noise);
+        // The greedy row-by-row reverse water-filling is near-optimal but not
+        // provably monotone against the one-shot global scaling; in rare
+        // near-degenerate channels it can land a fraction of a percent below
+        // it, so the domination property is checked with a 1% relative slack.
+        prop_assert!(pb.sum_capacity >= naive.sum_capacity * 0.99 - 1e-6,
+            "power-balanced {} < naive {}", pb.sum_capacity, naive.sum_capacity);
+        prop_assert!(pb.sum_capacity <= zfbf.sum_capacity + 1e-6,
+            "power-balanced {} > unconstrained ZFBF {}", pb.sum_capacity, zfbf.sum_capacity);
+    }
+
+    #[test]
+    fn no_stream_is_silenced_and_iterations_are_bounded(h in mu_mimo_channel()) {
+        prop_assume!(well_conditioned(&h));
+        let out = PowerBalancedPrecoder::default().precode(&h, 10.0, 1e-6);
+        for j in 0..h.rows() {
+            prop_assert!(out.v.col_power(j) > 0.0, "stream {} silenced", j);
+        }
+        prop_assert!(out.iterations <= h.cols() + 4);
+    }
+
+    #[test]
+    fn naive_scaling_meets_constraint_and_keeps_zero_forcing(h in mu_mimo_channel()) {
+        prop_assume!(well_conditioned(&h));
+        let p = 5.0;
+        let out = NaiveScaledPrecoder.precode(&h, p, 1e-6);
+        prop_assert!(power::satisfies_per_antenna(&out.v, p * (1.0 + 1e-9)));
+        prop_assert!(out.sinr.max_interference() < 1e-5);
+    }
+
+    #[test]
+    fn capacity_scales_monotonically_with_power_budget(h in mu_mimo_channel()) {
+        prop_assume!(well_conditioned(&h));
+        let noise = 1e-6;
+        let low = PowerBalancedPrecoder::default().precode(&h, 1.0, noise);
+        let high = PowerBalancedPrecoder::default().precode(&h, 10.0, noise);
+        prop_assert!(high.sum_capacity >= low.sum_capacity - 1e-9);
+    }
+}

@@ -1,0 +1,36 @@
+use midas_channel::{Environment, SimRng};
+use midas_channel::topology::TopologyConfig;
+use midas_net::deployment::PairedTopology;
+use midas_net::simulator::{NetworkSimConfig, NetworkSimulator};
+
+fn run(label: &str, das_lo: f64, das_hi: f64, client_max: f64) {
+    let env = Environment::office_a();
+    let range = env.coverage_range_m();
+    let cfg = TopologyConfig {
+        das_radius_min_m: das_lo * range,
+        das_radius_max_m: das_hi * range,
+        min_sector_deg: 60.0,
+        max_client_ap_m: client_max * range,
+        ..TopologyConfig::das(4, 4)
+    };
+    let (mut d, mut c, mut ds, mut cs) = (0.0, 0.0, 0.0, 0.0);
+    for seed in 0..6u64 {
+        let mut rng = SimRng::new(100 + seed);
+        let pair = PairedTopology::three_ap(&cfg, &mut rng);
+        let mut mc = NetworkSimConfig::midas(env, seed); mc.rounds = 10;
+        let mut cc = NetworkSimConfig::cas(env, seed); cc.rounds = 10;
+        let rd = NetworkSimulator::new(pair.das, mc).run();
+        let rc = NetworkSimulator::new(pair.cas, cc).run();
+        d += rd.mean_capacity(); c += rc.mean_capacity();
+        ds += rd.mean_streams(); cs += rc.mean_streams();
+    }
+    println!("{label}: MIDAS cap {:.1} (streams {:.1})  CAS cap {:.1} (streams {:.1})  gain {:.0}%", d/6.0, ds/6.0, c/6.0, cs/6.0, (d/c-1.0)*100.0);
+}
+
+fn main() {
+    run("das 0.50-0.75 clients 0.85", 0.5, 0.75, 0.85);
+    run("das 0.50-0.75 clients 0.50", 0.5, 0.75, 0.50);
+    run("das 0.40-0.60 clients 0.50", 0.4, 0.6, 0.50);
+    run("das 0.30-0.50 clients 0.45", 0.3, 0.5, 0.45);
+    run("das 0.40-0.60 clients 0.40", 0.4, 0.6, 0.40);
+}

@@ -1,0 +1,31 @@
+//! Office deployment study: the workload the paper's introduction motivates —
+//! an enterprise office AP serving a handful of one-antenna smart devices.
+//!
+//! Sweeps both testbed environments (Office A / Office B) and both antenna
+//! counts (2x2 and 4x4) and reports the capacity CDFs, mirroring Figs. 8-9.
+//!
+//! Run with `cargo run --release --example office_deployment`.
+
+use midas::experiment::fig08_09_capacity;
+use midas::prelude::*;
+
+fn main() {
+    for env in [EnvironmentKind::OfficeA, EnvironmentKind::OfficeB] {
+        for antennas in [2usize, 4] {
+            let s = fig08_09_capacity(env, antennas, 40, 7);
+            let cas = Cdf::new(&s.cas);
+            let das = Cdf::new(&s.das);
+            println!(
+                "{env:?} {antennas}x{antennas}: CAS median {:5.2} bit/s/Hz | MIDAS median {:5.2} bit/s/Hz | gain {:+.0}%",
+                cas.median(),
+                das.median(),
+                (das.median() / cas.median() - 1.0) * 100.0
+            );
+        }
+    }
+    println!("\nDead-zone check (Office B, 10 random deployments):");
+    let dead = midas::experiment::fig13_deadzones(5, 11);
+    for (i, d) in dead.iter().enumerate() {
+        println!("  deployment {i}: CAS {:3} dead spots, DAS {:3} ({:.0}% removed)", d.cas_dead, d.das_dead, d.reduction() * 100.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Quick start: compare one MIDAS (DAS) AP with a conventional CAS 802.11ac AP
+//! on a random office topology.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use midas::prelude::*;
+
+fn main() {
+    let config = SystemConfig::default();
+    println!("MIDAS quick start: {} antennas, {} clients, {:?}", config.antennas, config.clients, config.environment);
+
+    let mut gains = Vec::new();
+    for seed in 0..20 {
+        let system = SingleApSystem::generate(&config, seed);
+        let outcome = system.downlink_comparison();
+        println!(
+            "topology {seed:2}: CAS {:6.2} bit/s/Hz   MIDAS {:6.2} bit/s/Hz   gain {:+.0}%",
+            outcome.cas_capacity,
+            outcome.midas_capacity,
+            outcome.gain() * 100.0
+        );
+        gains.push(outcome.gain() * 100.0);
+    }
+    let cdf = Cdf::new(&gains);
+    println!("median MIDAS gain over CAS: {:+.0}%", cdf.median());
+}

@@ -1,0 +1,8 @@
+//! Umbrella package of the MIDAS (CoNEXT'14) reproduction.
+//!
+//! This crate only hosts the runnable examples in `examples/` and the
+//! cross-crate integration tests in `tests/`; the library surface lives in
+//! the workspace crates (`midas`, `midas-phy`, `midas-mac`, `midas-net`,
+//! `midas-channel`, `midas-linalg`).
+
+pub use midas;

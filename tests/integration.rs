@@ -1,0 +1,59 @@
+//! Cross-crate integration tests: exercise the full pipeline
+//! (topology -> channel -> tagging/MAC -> precoding -> capacity) through the
+//! public APIs only.
+
+use midas::experiment;
+use midas::prelude::*;
+use midas_net::metrics::Cdf;
+use midas_phy::power;
+
+#[test]
+fn full_pipeline_single_ap_midas_beats_cas_in_median() {
+    let config = SystemConfig::default();
+    let gains: Vec<f64> = (0..25)
+        .map(|seed| SingleApSystem::generate(&config, 1000 + seed).downlink_comparison().gain())
+        .collect();
+    assert!(Cdf::new(&gains).median() > 0.2, "median gain {:?}", Cdf::new(&gains).median());
+}
+
+#[test]
+fn precoding_respects_the_per_antenna_constraint_through_the_public_api() {
+    for seed in 0..10 {
+        let sys = SingleApSystem::generate(&SystemConfig::default(), seed);
+        let out = sys.downlink_comparison();
+        assert!(power::satisfies_per_antenna(&out.midas.v, sys.das_channel().tx_power_mw * 1.000001));
+        assert!(power::satisfies_per_antenna(&out.cas.v, sys.cas_channel().tx_power_mw * 1.000001));
+    }
+}
+
+#[test]
+fn experiment_runners_are_deterministic_in_the_seed() {
+    let a = experiment::fig08_09_capacity(EnvironmentKind::OfficeA, 4, 5, 99);
+    let b = experiment::fig08_09_capacity(EnvironmentKind::OfficeA, 4, 5, 99);
+    assert_eq!(a.cas, b.cas);
+    assert_eq!(a.das, b.das);
+}
+
+#[test]
+fn spatial_reuse_and_end_to_end_runners_produce_sane_output() {
+    let ratios = experiment::fig12_simultaneous_tx(10, 5);
+    assert_eq!(ratios.len(), 10);
+    assert!(ratios.iter().all(|r| *r > 0.0 && *r < 4.0));
+
+    let e2e = experiment::end_to_end_capacity(false, 2, 5, 5);
+    assert_eq!(e2e.cas.len(), 2);
+    assert!(e2e.das.iter().all(|c| c.is_finite() && *c > 0.0));
+}
+
+#[test]
+fn deadzone_and_hidden_terminal_runners_show_das_benefit() {
+    let dead = experiment::fig13_deadzones(3, 21);
+    let cas: usize = dead.iter().map(|d| d.cas_dead).sum();
+    let das: usize = dead.iter().map(|d| d.das_dead).sum();
+    assert!(das <= cas, "DAS dead spots {das} should not exceed CAS {cas}");
+
+    let hidden = experiment::sec534_hidden_terminals(4, 22);
+    let cas_h: usize = hidden.iter().map(|h| h.cas_spots).sum();
+    let das_h: usize = hidden.iter().map(|h| h.das_spots).sum();
+    assert!(das_h <= cas_h, "DAS hidden spots {das_h} vs CAS {cas_h}");
+}
