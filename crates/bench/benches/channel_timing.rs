@@ -1,0 +1,46 @@
+//! Criterion timing of the channel-realisation and system-assembly hot path.
+//!
+//! Every experiment runner regenerates topologies and channel realisations in
+//! its inner loop, so `ChannelModel::realize` and `SingleApSystem::generate`
+//! dominate figure-regeneration wall-clock alongside the precoders timed in
+//! `precoder_timing`.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use midas::prelude::*;
+use midas_channel::geometry::{Point, Rect};
+use midas_channel::topology::{single_ap, TopologyConfig};
+use midas_channel::{ChannelModel, Environment, SimRng};
+
+fn bench_channel_realize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_realize");
+    for n in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("das", n), &n, |b, &n| {
+            let mut rng = SimRng::new(n as u64);
+            let region = Rect::new(Point::new(0.0, 0.0), 40.0, 40.0);
+            let topo = single_ap(&TopologyConfig::das(n, n), region, &mut rng);
+            let mut model = ChannelModel::new(Environment::office_a(), n as u64);
+            let clients = topo.clients_of(0);
+            b.iter(|| model.realize(&topo.aps[0], &clients))
+        });
+    }
+    group.finish();
+}
+
+fn bench_system_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_ap_system");
+    let config = SystemConfig::default();
+    group.bench_with_input(BenchmarkId::new("generate", "4x4"), &config, |b, config| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            SingleApSystem::generate(config, seed)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("downlink_comparison", "4x4"), &config, |b, config| {
+        let system = SingleApSystem::generate(config, 42);
+        b.iter(|| system.downlink_comparison())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_channel_realize, bench_system_generate);
+criterion_main!(benches);

@@ -129,10 +129,8 @@ fn antenna_correlation_cholesky(antennas: &[Point]) -> Vec<Vec<f64>> {
     let mut l_mat = vec![vec![0.0f64; n]; n];
     for i in 0..n {
         for j in 0..=i {
-            let mut sum = r[i][j];
-            for p in 0..j {
-                sum -= l_mat[i][p] * l_mat[j][p];
-            }
+            let dot: f64 = l_mat[i][..j].iter().zip(&l_mat[j][..j]).map(|(a, b)| a * b).sum();
+            let sum = r[i][j] - dot;
             if i == j {
                 l_mat[i][j] = sum.max(1e-12).sqrt();
             } else {

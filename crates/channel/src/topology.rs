@@ -421,7 +421,7 @@ mod tests {
             let antennas = place_antennas(ap, &cfg, &region(), &mut rng);
             for a in &antennas {
                 let d = ap.distance(a);
-                assert!(d >= 4.9 && d <= 10.1, "distance {d}");
+                assert!((4.9..=10.1).contains(&d), "distance {d}");
             }
         }
     }

@@ -218,6 +218,8 @@ impl Mul<Complex> for f64 {
 
 impl Div for Complex {
     type Output = Complex;
+    // Division implemented as multiplication by the inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.inv()

@@ -111,8 +111,8 @@ impl LuDecomposition {
         let mut y = vec![Complex::ZERO; n];
         for i in 0..n {
             let mut acc = b[self.perm[i]];
-            for j in 0..i {
-                acc -= self.lu.get(i, j) * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                acc -= self.lu.get(i, j) * yj;
             }
             y[i] = acc;
         }
@@ -120,8 +120,8 @@ impl LuDecomposition {
         let mut x = vec![Complex::ZERO; n];
         for i in (0..n).rev() {
             let mut acc = y[i];
-            for j in (i + 1)..n {
-                acc -= self.lu.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.lu.get(i, j) * xj;
             }
             x[i] = acc / self.lu.get(i, i);
         }

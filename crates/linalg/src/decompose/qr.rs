@@ -128,8 +128,8 @@ impl QrDecomposition {
                 return None;
             }
             let mut acc = y[i];
-            for j in (i + 1)..n {
-                acc -= self.r.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.r.get(i, j) * xj;
             }
             x[i] = acc / rii;
         }

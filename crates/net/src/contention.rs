@@ -136,15 +136,15 @@ mod tests {
         let topo = three_ap_testbed(&TopologyConfig::das(4, 4), &mut rng);
         let g = ContentionGraph::new(Environment::office_a(), 3);
         let adj = g.ap_adjacency(&topo);
-        for a in 0..3 {
-            assert!(!adj[a][a]);
-            for b in 0..3 {
-                assert_eq!(adj[a][b], adj[b][a]);
+        for (a, row) in adj.iter().enumerate() {
+            assert!(!row[a]);
+            for (b, &reaches) in row.iter().enumerate() {
+                assert_eq!(reaches, adj[b][a]);
             }
         }
         // Overheard count is consistent with the adjacency matrix.
-        for a in 0..3 {
-            let expect = adj[a].iter().filter(|&&x| x).count();
+        for (a, row) in adj.iter().enumerate() {
+            let expect = row.iter().filter(|&&x| x).count();
             assert_eq!(g.overheard_count(&topo, a), expect);
         }
     }

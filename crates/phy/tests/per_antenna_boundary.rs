@@ -1,0 +1,116 @@
+//! Regression tests for the per-antenna power-constraint float boundary.
+//!
+//! The constrained precoders drive the worst row of **V** to land exactly on
+//! the per-antenna budget, so their row powers sit right at the comparison
+//! boundary and the check in `midas_phy::power` must absorb the accumulated
+//! floating-point rounding. Historically the cross-crate integration test
+//! papered over this with a `* 1.000001` slack on the limit; these tests pin
+//! the real contract: the precoder output satisfies the constraint at the
+//! *exact* budget, with only `POWER_TOLERANCE` absorbing rounding.
+
+use midas_channel::geometry::{Point, Rect};
+use midas_channel::topology::{single_ap, TopologyConfig};
+use midas_channel::{ChannelMatrix, ChannelModel, DeploymentKind, Environment, SimRng};
+use midas_linalg::{CMat, Complex};
+use midas_phy::power::{self, POWER_TOLERANCE};
+use midas_phy::precoder::{
+    NaiveScaledPrecoder, OptimalPrecoder, PowerBalancedPrecoder, Precoder,
+};
+
+fn channel(kind: DeploymentKind, antennas: usize, clients: usize, seed: u64) -> ChannelMatrix {
+    let mut rng = SimRng::new(seed);
+    let cfg = TopologyConfig {
+        kind,
+        antennas_per_ap: antennas,
+        clients_per_ap: clients,
+        ..TopologyConfig::das(antennas, clients)
+    };
+    let region = Rect::new(Point::new(0.0, 0.0), 40.0, 40.0);
+    let topo = single_ap(&cfg, region, &mut rng);
+    let mut model = ChannelModel::new(Environment::office_a(), seed);
+    let clients = topo.clients_of(0);
+    model.realize(&topo.aps[0], &clients)
+}
+
+/// Every constrained precoder must satisfy the constraint at the exact
+/// budget — no caller-side slack — across deployments, shapes, and seeds.
+#[test]
+fn constrained_precoders_meet_the_exact_budget_across_seeds() {
+    let precoders: Vec<(&str, Box<dyn Precoder>)> = vec![
+        ("naive-scaled", Box::new(NaiveScaledPrecoder)),
+        ("power-balanced", Box::new(PowerBalancedPrecoder::default())),
+        ("optimal", Box::new(OptimalPrecoder::default())),
+    ];
+    let mut worst_excess = 0.0f64;
+    let mut min_budget = f64::INFINITY;
+    for (name, p) in &precoders {
+        for kind in [DeploymentKind::Cas, DeploymentKind::Das] {
+            for &(antennas, clients) in &[(2usize, 2usize), (4, 2), (4, 3), (4, 4)] {
+                for seed in 0..40u64 {
+                    let ch = channel(kind, antennas, clients, 90_000 + seed);
+                    let out = p.precode(&ch.h, ch.tx_power_mw, ch.noise_mw);
+                    let max_row = power::per_antenna_powers(&out.v)
+                        .into_iter()
+                        .fold(0.0f64, f64::max);
+                    worst_excess = worst_excess.max(max_row / ch.tx_power_mw - 1.0);
+                    min_budget = min_budget.min(ch.tx_power_mw);
+                    assert!(
+                        power::satisfies_per_antenna(&out.v, ch.tx_power_mw),
+                        "{name} {kind:?} {antennas}x{clients} seed {seed}: row powers {:?} \
+                         exceed exact budget {} (rel excess {:.3e})",
+                        power::per_antenna_powers(&out.v),
+                        ch.tx_power_mw,
+                        max_row / ch.tx_power_mw - 1.0,
+                    );
+                }
+            }
+        }
+    }
+    // The whole point of POWER_TOLERANCE: rounding keeps the boundary row
+    // inside the checker's acceptance band, p <= limit*(1+tol) + tol, which
+    // in relative terms is tol*(1 + 1/limit) for the tightest budget seen.
+    let band = POWER_TOLERANCE * (1.0 + 1.0 / min_budget);
+    assert!(
+        worst_excess <= band,
+        "worst relative excess {worst_excess:.3e} exceeds the tolerance band {band:.3e}"
+    );
+}
+
+/// The checker must accept a row sitting bit-exactly on the limit and within
+/// a few ulps above it (rounding), and reject a genuine violation.
+#[test]
+fn satisfies_per_antenna_handles_the_float_boundary() {
+    let limit = 36.0; // mW, the office budget order of magnitude
+    let row = |p: f64| CMat::from_rows(&[vec![Complex::new(p.sqrt(), 0.0)]]);
+
+    // Exactly on the limit.
+    assert!(power::satisfies_per_antenna(&row(limit), limit));
+    // A few ulps above (what accumulated rounding produces).
+    let ulps_above = f64::from_bits(limit.to_bits() + 4);
+    assert!(power::satisfies_per_antenna(&row(ulps_above), limit));
+    // Just inside the tolerance band.
+    assert!(power::satisfies_per_antenna(&row(limit * (1.0 + 0.5 * POWER_TOLERANCE)), limit));
+    // Clearly outside the band is a real violation.
+    assert!(!power::satisfies_per_antenna(&row(limit * (1.0 + 1e-6)), limit));
+    assert!(!power::satisfies_per_antenna(&row(limit * 1.1), limit));
+}
+
+/// `worst_violating_antenna` (the precoder's step-3 predicate) and
+/// `satisfies_per_antenna` (the caller's check) must agree on the boundary:
+/// any matrix the precoder stops iterating on must pass the caller's check,
+/// otherwise the precoder terminates "clean" yet the output fails validation.
+#[test]
+fn violation_predicates_agree_on_the_boundary() {
+    let limit = 36.0;
+    for rel in [0.0, 0.25 * POWER_TOLERANCE, POWER_TOLERANCE, 1e-8, 1e-6, 1e-3] {
+        let p = limit * (1.0 + rel);
+        let v = CMat::from_rows(&[vec![Complex::new(p.sqrt(), 0.0)]]);
+        let flagged = power::worst_violating_antenna(&v, limit).is_some();
+        let passes = power::satisfies_per_antenna(&v, limit);
+        assert_eq!(
+            flagged, !passes,
+            "rel excess {rel:.3e}: worst_violating_antenna flagged={flagged} but \
+             satisfies_per_antenna passes={passes}"
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! DAS placement-radius sweep: how far from the AP should the distributed
+//! antennas sit?
+//!
+//! The paper places DAS antennas in an annulus around the AP (§4); this
+//! example sweeps the annulus bounds (as fractions of the environment's
+//! coverage range) together with the client spread, and reports the 3-AP
+//! network capacity and concurrent-stream count of MIDAS against the CAS
+//! baseline for each setting. Wider annuli push antennas closer to the
+//! clients (higher SNR) but shrink the overlap that spatial reuse exploits.
+//!
+//! Run with `cargo run --release --example das_radius_sweep`.
+
+use midas_channel::topology::TopologyConfig;
+use midas_channel::{Environment, SimRng};
+use midas_net::deployment::PairedTopology;
+use midas_net::simulator::{NetworkSimConfig, NetworkSimulator};
+
+const TOPOLOGIES_PER_SETTING: u64 = 6;
+
+/// Runs one sweep point: DAS annulus `[das_lo, das_hi]` and maximum
+/// client-AP distance `client_max`, all as fractions of the coverage range.
+fn run(label: &str, das_lo: f64, das_hi: f64, client_max: f64) {
+    let env = Environment::office_a();
+    let range = env.coverage_range_m();
+    let cfg = TopologyConfig {
+        das_radius_min_m: das_lo * range,
+        das_radius_max_m: das_hi * range,
+        min_sector_deg: 60.0,
+        max_client_ap_m: client_max * range,
+        ..TopologyConfig::das(4, 4)
+    };
+    let (mut das_cap, mut cas_cap, mut das_streams, mut cas_streams) = (0.0, 0.0, 0.0, 0.0);
+    for seed in 0..TOPOLOGIES_PER_SETTING {
+        let mut rng = SimRng::new(100 + seed);
+        let pair = PairedTopology::three_ap(&cfg, &mut rng);
+        let mut midas_cfg = NetworkSimConfig::midas(env, seed);
+        midas_cfg.rounds = 10;
+        let mut cas_cfg = NetworkSimConfig::cas(env, seed);
+        cas_cfg.rounds = 10;
+        let das_run = NetworkSimulator::new(pair.das, midas_cfg).run();
+        let cas_run = NetworkSimulator::new(pair.cas, cas_cfg).run();
+        das_cap += das_run.mean_capacity();
+        cas_cap += cas_run.mean_capacity();
+        das_streams += das_run.mean_streams();
+        cas_streams += cas_run.mean_streams();
+    }
+    let n = TOPOLOGIES_PER_SETTING as f64;
+    println!(
+        "{label}: MIDAS cap {:.1} (streams {:.1})  CAS cap {:.1} (streams {:.1})  gain {:.0}%",
+        das_cap / n,
+        das_streams / n,
+        cas_cap / n,
+        cas_streams / n,
+        (das_cap / cas_cap - 1.0) * 100.0
+    );
+}
+
+fn main() {
+    println!("3-AP network capacity vs DAS annulus (fractions of coverage range):");
+    run("das 0.50-0.75 clients 0.85", 0.5, 0.75, 0.85);
+    run("das 0.50-0.75 clients 0.50", 0.5, 0.75, 0.50);
+    run("das 0.40-0.60 clients 0.50", 0.4, 0.6, 0.50);
+    run("das 0.30-0.50 clients 0.45", 0.3, 0.5, 0.45);
+    run("das 0.40-0.60 clients 0.40", 0.4, 0.6, 0.40);
+}

@@ -24,6 +24,6 @@ fn main() {
             out.sum_capacity,
             powers.iter().map(|p| (p * 10.0).round() / 10.0).collect::<Vec<_>>(),
             util * 100.0,
-            power::satisfies_per_antenna(&out.v, ch.tx_power_mw * 1.000001));
+            power::satisfies_per_antenna(&out.v, ch.tx_power_mw));
     }
 }

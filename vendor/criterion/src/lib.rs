@@ -1,0 +1,176 @@
+//! Minimal offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Implements the subset of the criterion API this workspace's benches use:
+//! [`Criterion`], [`BenchmarkId`], benchmark groups with `bench_with_input`
+//! and `bench_function`, [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of criterion's full statistical pipeline, each benchmark is run
+//! for a short calibrated window and the mean iteration time is printed as
+//! `bench: <group>/<id> ... <time>`. This keeps `cargo bench` fast while
+//! preserving the targets as compile-checked, runnable entry points.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group, e.g. `zfbf/4`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and an input parameter.
+    pub fn new<S: fmt::Display, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// An id from a parameter only.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to the closure of `bench_*` methods.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` over a short calibrated window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that fills the
+        // measurement window, then time it.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(20) || n >= 1 << 20 {
+                self.iters_done = n;
+                self.elapsed = elapsed;
+                return;
+            }
+            n = n.saturating_mul(4);
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.iters_done == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.iters_done.min(u32::MAX as u64) as u32
+        }
+    }
+}
+
+fn format_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one<I: ?Sized, F: FnMut(&mut Bencher, &I)>(label: &str, input: &I, mut f: F) {
+    let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO };
+    f(&mut b, input);
+    println!("bench: {label:<40} {:>12}/iter ({} iters)", format_time(b.mean()), b.iters_done);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark `f` against one `input`, labelled by `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{id}", self.name), input, f);
+        self
+    }
+
+    /// Benchmark a closure taking only the bencher.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{id}", self.name), &(), |b, _| f(b));
+        self
+    }
+
+    /// Consume the group (criterion reports summaries here; the stand-in has
+    /// already printed per-benchmark lines).
+    pub fn finish(self) {}
+
+    /// Accepted and ignored, for API compatibility.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored, for API compatibility.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+}
+
+/// Entry point handed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), &(), |b, _| f(b));
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
