@@ -1,11 +1,14 @@
 //! Ablation — opportunistic antenna-selection wait window (§3.2.3).
 use midas::experiment::ablation_antenna_wait;
-use midas_bench::BENCH_SEED;
+use midas_bench::{Cell, Figure, Table, BENCH_SEED};
 
 fn main() {
-    println!("# wait window (us)\tfraction of accesses gaining an antenna");
+    let mut fig = Figure::new("ablation_antenna_wait").with_seed(BENCH_SEED);
+    let mut table = Table::new("wait_window_sweep", &["wait_window_us", "fraction_gaining"]);
     for (w, frac) in ablation_antenna_wait(&[0, 9, 18, 34, 68, 136], 20_000, BENCH_SEED) {
-        println!("{w}\t{frac:.3}");
+        table.row([Cell::from(w), Cell::from(frac)]);
     }
-    println!("# MIDAS uses one DIFS (34 us): most of the benefit at minimal extra air-time");
+    fig.table(table);
+    fig.note("MIDAS uses one DIFS (34 us): most of the benefit at minimal extra air-time");
+    fig.emit();
 }

@@ -1,12 +1,28 @@
 //! Ablation — DAS antenna placement radius (§7 recommends 50-75% of coverage).
 use midas::experiment::ablation_das_radius;
-use midas_bench::BENCH_SEED;
+use midas_bench::{Cell, Figure, Table, BENCH_SEED};
 
 fn main() {
-    println!("# radius band (fraction of coverage range)\tmedian 4x4 capacity (bit/s/Hz)");
-    let bands = [(0.05, 0.15), (0.2, 0.35), (0.35, 0.5), (0.5, 0.75), (0.75, 0.95)];
+    let mut fig = Figure::new("ablation_das_radius").with_seed(BENCH_SEED);
+    let mut table = Table::new(
+        "radius_sweep",
+        &[
+            "radius_lo_fraction",
+            "radius_hi_fraction",
+            "median_4x4_capacity_bit_s_hz",
+        ],
+    );
+    let bands = [
+        (0.05, 0.15),
+        (0.2, 0.35),
+        (0.35, 0.5),
+        (0.5, 0.75),
+        (0.75, 0.95),
+    ];
     for ((lo, hi), cap) in ablation_das_radius(&bands, 25, BENCH_SEED) {
-        println!("{lo:.2}-{hi:.2}\t{cap:.2}");
+        table.row([Cell::from(lo), Cell::from(hi), Cell::from(cap)]);
     }
-    println!("# too close degenerates to CAS, too far hurts links; the sweet spot is mid-range");
+    fig.table(table);
+    fig.note("too close degenerates to CAS, too far hurts links; the sweet spot is mid-range");
+    fig.emit();
 }

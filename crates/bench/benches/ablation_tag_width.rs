@@ -1,11 +1,17 @@
 //! Ablation — how many antennas each client's packets are tagged with (§3.2.4).
 use midas::experiment::ablation_tag_width;
-use midas_bench::BENCH_SEED;
+use midas_bench::{Cell, Figure, Table, BENCH_SEED};
 
 fn main() {
-    println!("# tag width\tmean 3-AP MIDAS network capacity (bit/s/Hz)");
+    let mut fig = Figure::new("ablation_tag_width").with_seed(BENCH_SEED);
+    let mut table = Table::new(
+        "tag_width_sweep",
+        &["tag_width", "mean_3ap_midas_capacity_bit_s_hz"],
+    );
     for (w, cap) in ablation_tag_width(&[1, 2, 3, 4], 6, BENCH_SEED) {
-        println!("{w}\t{cap:.2}");
+        table.row([Cell::from(w), Cell::from(cap)]);
     }
-    println!("# paper: two tags per client balances utilisation and link quality at medium density");
+    fig.table(table);
+    fig.note("paper: two tags per client balances utilisation and link quality at medium density");
+    fig.emit();
 }

@@ -4,8 +4,9 @@
 //! its inner loop, so `ChannelModel::realize` and `SingleApSystem::generate`
 //! dominate figure-regeneration wall-clock alongside the precoders timed in
 //! `precoder_timing`.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion};
 use midas::prelude::*;
+use midas_bench::{Cell, Figure, Table};
 use midas_channel::geometry::{Point, Rect};
 use midas_channel::topology::{single_ap, TopologyConfig};
 use midas_channel::{ChannelModel, Environment, SimRng};
@@ -35,12 +36,33 @@ fn bench_system_generate(c: &mut Criterion) {
             SingleApSystem::generate(config, seed)
         })
     });
-    group.bench_with_input(BenchmarkId::new("downlink_comparison", "4x4"), &config, |b, config| {
-        let system = SingleApSystem::generate(config, 42);
-        b.iter(|| system.downlink_comparison())
-    });
+    group.bench_with_input(
+        BenchmarkId::new("downlink_comparison", "4x4"),
+        &config,
+        |b, config| {
+            let system = SingleApSystem::generate(config, 42);
+            b.iter(|| system.downlink_comparison())
+        },
+    );
     group.finish();
 }
 
-criterion_group!(benches, bench_channel_realize, bench_system_generate);
-criterion_main!(benches);
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_channel_realize(&mut criterion);
+    bench_system_generate(&mut criterion);
+
+    // The criterion stand-in already printed per-benchmark lines; mirror the
+    // timings into the figure sinks so they land as diffable files too.
+    let mut fig = Figure::new("channel_timing");
+    let mut table = Table::new("timings", &["benchmark", "mean_ns_per_iter", "iters"]);
+    for r in criterion.results() {
+        table.row([
+            Cell::from(r.label.as_str()),
+            Cell::from(r.mean_ns),
+            Cell::from(r.iters),
+        ]);
+    }
+    fig.table(table);
+    fig.emit_files_only();
+}

@@ -1,10 +1,12 @@
 //! Fig. 3 — CDF of the capacity drop caused by naive power scaling (4x4).
 use midas::experiment::fig03_naive_scaling_drop;
-use midas_bench::{print_cdf, BENCH_SEED};
+use midas_bench::{Figure, BENCH_SEED};
 
 fn main() {
     let s = fig03_naive_scaling_drop(60, BENCH_SEED);
-    print_cdf("fig03 capacity drop CAS (bit/s/Hz)", &s.cas);
-    print_cdf("fig03 capacity drop DAS (bit/s/Hz)", &s.das);
-    println!("# paper: the DAS drop is far larger than the CAS drop (Fig. 3)");
+    let mut fig = Figure::new("fig03_naive_scaling_drop").with_seed(BENCH_SEED);
+    fig.cdf("fig03 capacity drop CAS (bit/s/Hz)", &s.cas);
+    fig.cdf("fig03 capacity drop DAS (bit/s/Hz)", &s.das);
+    fig.note("paper: the DAS drop is far larger than the CAS drop (Fig. 3)");
+    fig.emit();
 }

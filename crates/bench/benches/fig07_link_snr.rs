@@ -1,12 +1,16 @@
 //! Fig. 7 — CDF of SISO link SNR across clients, CAS vs DAS.
 use midas::experiment::fig07_link_snr;
-use midas_bench::{print_cdf, BENCH_SEED};
+use midas_bench::{Figure, BENCH_SEED};
 use midas_net::metrics::Cdf;
 
 fn main() {
     let s = fig07_link_snr(60, BENCH_SEED);
-    print_cdf("fig07 link SNR CAS (dB)", &s.cas);
-    print_cdf("fig07 link SNR DAS (dB)", &s.das);
+    let mut fig = Figure::new("fig07_link_snr").with_seed(BENCH_SEED);
+    fig.cdf("fig07 link SNR CAS (dB)", &s.cas);
+    fig.cdf("fig07 link SNR DAS (dB)", &s.das);
     let gain = Cdf::new(&s.das).median() - Cdf::new(&s.cas).median();
-    println!("# fig07: median DAS link gain = {gain:.1} dB (paper: ~5 dB with four antennas)");
+    fig.note(&format!(
+        "fig07: median DAS link gain = {gain:.1} dB (paper: ~5 dB with four antennas)"
+    ));
+    fig.emit();
 }

@@ -1,14 +1,26 @@
-//! Fig. 8 — MU-MIMO capacity CDF, Office B, 2x2 and 4x4, CAS vs MIDAS.
+//! Fig. 9 — MU-MIMO capacity CDF, Office B, 2x2 and 4x4, CAS vs MIDAS.
 use midas::experiment::fig08_09_capacity;
-use midas_bench::{print_cdf, print_median_gain, BENCH_SEED};
+use midas_bench::{Figure, BENCH_SEED};
 use midas_channel::EnvironmentKind;
 
 fn main() {
+    let mut fig = Figure::new("fig09_capacity_office_b").with_seed(BENCH_SEED);
     for antennas in [2usize, 4] {
         let s = fig08_09_capacity(EnvironmentKind::OfficeB, antennas, 60, BENCH_SEED);
-        print_cdf(&format!("fig09 {antennas}x{antennas} CAS capacity (bit/s/Hz)"), &s.cas);
-        print_cdf(&format!("fig09 {antennas}x{antennas} MIDAS capacity (bit/s/Hz)"), &s.das);
-        print_median_gain(&format!("fig09 Office B {antennas}x{antennas}"), &s.cas, &s.das);
+        fig.cdf(
+            &format!("fig09 {antennas}x{antennas} CAS capacity (bit/s/Hz)"),
+            &s.cas,
+        );
+        fig.cdf(
+            &format!("fig09 {antennas}x{antennas} MIDAS capacity (bit/s/Hz)"),
+            &s.das,
+        );
+        fig.gain(
+            &format!("fig09 Office B {antennas}x{antennas}"),
+            &s.cas,
+            &s.das,
+        );
     }
-    println!("# paper: median gain 40-67% (2 antennas) rising to 45-80% (4 antennas)");
+    fig.note("paper: median gain 40-67% (2 antennas) rising to 45-80% (4 antennas)");
+    fig.emit();
 }

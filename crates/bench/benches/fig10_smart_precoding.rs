@@ -1,14 +1,16 @@
 //! Fig. 10 — impact of power-balanced precoding on CAS and DAS (4x4, Office B).
 use midas::experiment::fig10_smart_precoding;
-use midas_bench::{print_cdf, print_median_gain, BENCH_SEED};
+use midas_bench::{Figure, BENCH_SEED};
 
 fn main() {
     let s = fig10_smart_precoding(60, BENCH_SEED);
-    print_cdf("fig10 CAS w/o MIDAS precoding", &s.cas_naive);
-    print_cdf("fig10 CAS w/ MIDAS precoding", &s.cas_smart);
-    print_cdf("fig10 DAS w/o MIDAS precoding", &s.das_naive);
-    print_cdf("fig10 DAS w/ MIDAS precoding", &s.das_smart);
-    print_median_gain("fig10 CAS improvement", &s.cas_naive, &s.cas_smart);
-    print_median_gain("fig10 DAS improvement", &s.das_naive, &s.das_smart);
-    println!("# paper: ~12% median improvement for CAS, ~30% for DAS");
+    let mut fig = Figure::new("fig10_smart_precoding").with_seed(BENCH_SEED);
+    fig.cdf("fig10 CAS w/o MIDAS precoding", &s.cas_naive);
+    fig.cdf("fig10 CAS w/ MIDAS precoding", &s.cas_smart);
+    fig.cdf("fig10 DAS w/o MIDAS precoding", &s.das_naive);
+    fig.cdf("fig10 DAS w/ MIDAS precoding", &s.das_smart);
+    fig.gain("fig10 CAS improvement", &s.cas_naive, &s.cas_smart);
+    fig.gain("fig10 DAS improvement", &s.das_naive, &s.das_smart);
+    fig.note("paper: ~12% median improvement for CAS, ~30% for DAS");
+    fig.emit();
 }

@@ -1,17 +1,36 @@
 //! Fig. 11 — MIDAS precoder vs numerically optimal precoder, per topology.
 use midas::experiment::fig11_optimal_comparison;
-use midas_bench::BENCH_SEED;
+use midas_bench::{Cell, Figure, Table, BENCH_SEED};
 
 fn main() {
-    for (label, stale) in [("simulation (fresh CSI)", false), ("testbed-like (stale CSI for optimal)", true)] {
+    let mut fig = Figure::new("fig11_optimal_comparison").with_seed(BENCH_SEED);
+    for (label, slug, stale) in [
+        ("simulation (fresh CSI)", "simulation_fresh_csi", false),
+        (
+            "testbed-like (stale CSI for optimal)",
+            "testbed_stale_csi",
+            true,
+        ),
+    ] {
         let s = fig11_optimal_comparison(20, stale, BENCH_SEED);
-        println!("# fig11 {label}: topology\tMIDAS\toptimal (bit/s/Hz)");
+        let mut table = Table::new(
+            &format!("fig11_{slug}"),
+            &["topology", "midas_bit_s_hz", "optimal_bit_s_hz"],
+        );
         let mut ratio_sum = 0.0;
         for (i, (m, o)) in s.das.iter().zip(s.cas.iter()).enumerate() {
-            println!("{i}\t{m:.2}\t{o:.2}");
+            table.row([Cell::from(i), Cell::from(*m), Cell::from(*o)]);
             ratio_sum += m / o;
         }
-        println!("# fig11 {label}: mean MIDAS/optimal ratio = {:.1}%", 100.0 * ratio_sum / s.das.len() as f64);
+        fig.table(table);
+        fig.note(&format!(
+            "fig11 {label}: mean MIDAS/optimal ratio = {:.1}%",
+            100.0 * ratio_sum / s.das.len() as f64
+        ));
     }
-    println!("# paper: MIDAS within ~99% of optimal in simulation; occasionally above the (stale) optimal on the testbed");
+    fig.note(
+        "paper: MIDAS within ~99% of optimal in simulation; occasionally above the (stale) \
+         optimal on the testbed",
+    );
+    fig.emit();
 }

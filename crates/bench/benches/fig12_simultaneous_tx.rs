@@ -1,12 +1,16 @@
 //! Fig. 12 — CDF of the MIDAS/CAS ratio of simultaneous transmissions (3 APs).
 use midas::experiment::fig12_simultaneous_tx;
-use midas_bench::{print_cdf, BENCH_SEED};
+use midas_bench::{Figure, BENCH_SEED};
 use midas_net::metrics::Cdf;
 
 fn main() {
     let ratios = fig12_simultaneous_tx(30, BENCH_SEED);
-    print_cdf("fig12 simultaneous-transmission ratio MIDAS/CAS", &ratios);
+    let mut fig = Figure::new("fig12_simultaneous_tx").with_seed(BENCH_SEED);
+    fig.cdf("fig12 simultaneous-transmission ratio MIDAS/CAS", &ratios);
     let below = Cdf::new(&ratios).fraction_below(0.999);
-    println!("# fig12: fraction of topologies where MIDAS supports fewer streams than CAS = {below:.2}");
-    println!("# paper: median improvement ~50%, up to ~90%; only 2 of 30 topologies below CAS");
+    fig.note(&format!(
+        "fig12: fraction of topologies where MIDAS supports fewer streams than CAS = {below:.2}"
+    ));
+    fig.note("paper: median improvement ~50%, up to ~90%; only 2 of 30 topologies below CAS");
+    fig.emit();
 }

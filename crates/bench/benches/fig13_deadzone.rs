@@ -1,15 +1,36 @@
 //! Fig. 13 / §5.3.3 — dead-zone comparison between CAS and DAS deployments.
 use midas::experiment::fig13_deadzones;
-use midas_bench::BENCH_SEED;
+use midas_bench::{Cell, Figure, Table, BENCH_SEED};
 
 fn main() {
     let results = fig13_deadzones(10, BENCH_SEED);
-    println!("# fig13: deployment\tCAS dead spots\tDAS dead spots\ttotal spots\treduction");
+    let mut fig = Figure::new("fig13_deadzone").with_seed(BENCH_SEED);
+    let mut table = Table::new(
+        "fig13_deadzones",
+        &[
+            "deployment",
+            "cas_dead_spots",
+            "das_dead_spots",
+            "total_spots",
+            "reduction",
+        ],
+    );
     let (mut cas, mut das) = (0usize, 0usize);
     for (i, r) in results.iter().enumerate() {
-        println!("{i}\t{}\t{}\t{}\t{:.1}%", r.cas_dead, r.das_dead, r.total_spots, 100.0 * r.reduction());
+        table.row([
+            Cell::from(i),
+            Cell::from(r.cas_dead),
+            Cell::from(r.das_dead),
+            Cell::from(r.total_spots),
+            Cell::from(r.reduction()),
+        ]);
         cas += r.cas_dead;
         das += r.das_dead;
     }
-    println!("# fig13: aggregate dead-spot reduction = {:.1}% (paper: ~91%)", 100.0 * (1.0 - das as f64 / cas.max(1) as f64));
+    fig.table(table);
+    fig.note(&format!(
+        "fig13: aggregate dead-spot reduction = {:.1}% (paper: ~91%)",
+        100.0 * (1.0 - das as f64 / cas.max(1) as f64)
+    ));
+    fig.emit();
 }

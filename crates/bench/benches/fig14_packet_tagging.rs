@@ -1,11 +1,13 @@
 //! Fig. 14 — virtual packet tagging vs random client selection (2 of 4 antennas free).
 use midas::experiment::fig14_packet_tagging;
-use midas_bench::{print_cdf, print_median_gain, BENCH_SEED};
+use midas_bench::{Figure, BENCH_SEED};
 
 fn main() {
     let s = fig14_packet_tagging(60, BENCH_SEED);
-    print_cdf("fig14 random client selection (bit/s/Hz)", &s.cas);
-    print_cdf("fig14 tagging-driven selection (bit/s/Hz)", &s.das);
-    print_median_gain("fig14 virtual packet tagging", &s.cas, &s.das);
-    println!("# paper: ~50% median capacity increase from tagging-driven selection");
+    let mut fig = Figure::new("fig14_packet_tagging").with_seed(BENCH_SEED);
+    fig.cdf("fig14 random client selection (bit/s/Hz)", &s.cas);
+    fig.cdf("fig14 tagging-driven selection (bit/s/Hz)", &s.das);
+    fig.gain("fig14 virtual packet tagging", &s.cas, &s.das);
+    fig.note("paper: ~50% median capacity increase from tagging-driven selection");
+    fig.emit();
 }

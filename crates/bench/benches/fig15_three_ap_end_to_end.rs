@@ -1,11 +1,13 @@
 //! Fig. 15 — end-to-end 3-AP network capacity, CAS vs MIDAS.
 use midas::experiment::end_to_end_capacity;
-use midas_bench::{print_cdf, print_median_gain, BENCH_SEED};
+use midas_bench::{Figure, BENCH_SEED};
 
 fn main() {
     let s = end_to_end_capacity(false, 30, 15, BENCH_SEED);
-    print_cdf("fig15 CAS network capacity (bit/s/Hz)", &s.cas);
-    print_cdf("fig15 MIDAS network capacity (bit/s/Hz)", &s.das);
-    print_median_gain("fig15 3-AP end-to-end", &s.cas, &s.das);
-    println!("# paper: ~200% capacity gain over CAS (see EXPERIMENTS.md for the gap discussion)");
+    let mut fig = Figure::new("fig15_three_ap_end_to_end").with_seed(BENCH_SEED);
+    fig.cdf("fig15 CAS network capacity (bit/s/Hz)", &s.cas);
+    fig.cdf("fig15 MIDAS network capacity (bit/s/Hz)", &s.das);
+    fig.gain("fig15 3-AP end-to-end", &s.cas, &s.das);
+    fig.note("paper: ~200% capacity gain over CAS (see EXPERIMENTS.md for the gap discussion)");
+    fig.emit();
 }

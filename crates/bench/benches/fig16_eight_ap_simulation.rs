@@ -1,11 +1,13 @@
 //! Fig. 16 — large-scale 8-AP trace-driven simulation, CAS vs MIDAS.
 use midas::experiment::end_to_end_capacity;
-use midas_bench::{print_cdf, print_median_gain, BENCH_SEED};
+use midas_bench::{Figure, BENCH_SEED};
 
 fn main() {
     let s = end_to_end_capacity(true, 15, 10, BENCH_SEED);
-    print_cdf("fig16 CAS network capacity (bit/s/Hz)", &s.cas);
-    print_cdf("fig16 MIDAS network capacity (bit/s/Hz)", &s.das);
-    print_median_gain("fig16 8-AP large-scale", &s.cas, &s.das);
-    println!("# paper: DAS outperforms CAS by more than 150%");
+    let mut fig = Figure::new("fig16_eight_ap_simulation").with_seed(BENCH_SEED);
+    fig.cdf("fig16 CAS network capacity (bit/s/Hz)", &s.cas);
+    fig.cdf("fig16 MIDAS network capacity (bit/s/Hz)", &s.das);
+    fig.gain("fig16 8-AP large-scale", &s.cas, &s.das);
+    fig.note("paper: DAS outperforms CAS by more than 150%");
+    fig.emit();
 }

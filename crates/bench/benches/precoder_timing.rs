@@ -1,13 +1,17 @@
 //! Criterion timing of the precoders (the paper's "lightweight" claim, §3.1.2).
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion};
+use midas_bench::{Cell, Figure, Table};
 use midas_channel::geometry::{Point, Rect};
 use midas_channel::topology::{single_ap, TopologyConfig};
 use midas_channel::{ChannelModel, Environment, SimRng};
-use midas_phy::precoder::{NaiveScaledPrecoder, OptimalPrecoder, PowerBalancedPrecoder, Precoder, ZfbfPrecoder};
+use midas_phy::precoder::{
+    NaiveScaledPrecoder, OptimalPrecoder, PowerBalancedPrecoder, Precoder, ZfbfPrecoder,
+};
 
 fn channel(n: usize) -> midas_channel::ChannelMatrix {
     let mut rng = SimRng::new(n as u64);
-    let topo = single_ap(&TopologyConfig::das(n, n), Rect::new(Point::new(0.0, 0.0), 40.0, 40.0), &mut rng);
+    let region = Rect::new(Point::new(0.0, 0.0), 40.0, 40.0);
+    let topo = single_ap(&TopologyConfig::das(n, n), region, &mut rng);
     let mut model = ChannelModel::new(Environment::office_a(), n as u64);
     let clients = topo.clients_of(0);
     model.realize(&topo.aps[0], &clients)
@@ -33,5 +37,22 @@ fn bench_precoders(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_precoders);
-criterion_main!(benches);
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_precoders(&mut criterion);
+
+    // The criterion stand-in already printed per-benchmark lines; mirror the
+    // timings into the figure sinks so they land as diffable files too.
+    let mut fig = Figure::new("precoder_timing");
+    let mut table = Table::new("timings", &["benchmark", "mean_ns_per_iter", "iters"]);
+    for r in criterion.results() {
+        table.row([
+            Cell::from(r.label.as_str()),
+            Cell::from(r.mean_ns),
+            Cell::from(r.iters),
+        ]);
+    }
+    fig.table(table);
+    fig.note("paper: power-balanced precoding is lightweight enough for per-packet use (§3.1.2)");
+    fig.emit_files_only();
+}

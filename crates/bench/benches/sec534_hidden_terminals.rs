@@ -1,15 +1,34 @@
 //! §5.3.4 — hidden-terminal spots removed by the DAS deployment.
 use midas::experiment::sec534_hidden_terminals;
-use midas_bench::BENCH_SEED;
+use midas_bench::{Cell, Figure, Table, BENCH_SEED};
 
 fn main() {
     let results = sec534_hidden_terminals(10, BENCH_SEED);
-    println!("# sec5.3.4: deployment\tCAS hidden spots\tDAS hidden spots\ttotal spots");
+    let mut fig = Figure::new("sec534_hidden_terminals").with_seed(BENCH_SEED);
+    let mut table = Table::new(
+        "sec534_hidden_terminals",
+        &[
+            "deployment",
+            "cas_hidden_spots",
+            "das_hidden_spots",
+            "total_spots",
+        ],
+    );
     let (mut cas, mut das) = (0usize, 0usize);
     for (i, r) in results.iter().enumerate() {
-        println!("{i}\t{}\t{}\t{}", r.cas_spots, r.das_spots, r.total_spots);
+        table.row([
+            Cell::from(i),
+            Cell::from(r.cas_spots),
+            Cell::from(r.das_spots),
+            Cell::from(r.total_spots),
+        ]);
         cas += r.cas_spots;
         das += r.das_spots;
     }
-    println!("# sec5.3.4: aggregate hidden-terminal reduction = {:.1}% (paper: ~94%)", 100.0 * (1.0 - das as f64 / cas.max(1) as f64));
+    fig.table(table);
+    fig.note(&format!(
+        "sec5.3.4: aggregate hidden-terminal reduction = {:.1}% (paper: ~94%)",
+        100.0 * (1.0 - das as f64 / cas.max(1) as f64)
+    ));
+    fig.emit();
 }

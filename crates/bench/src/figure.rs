@@ -1,0 +1,262 @@
+//! Structured figure model: what a bench target produces.
+//!
+//! A [`Figure`] is an ordered list of [`Block`]s — CDF series, generic
+//! tables, headline median-gain comparisons and free-form notes — that the
+//! sinks in [`crate::sink`] render to stdout and to machine-readable CSV /
+//! JSON files.  Bench targets build the figure as pure data and hand it to
+//! [`Figure::emit`], so the console output and the on-disk files always
+//! describe the same series.
+
+use midas_net::metrics::Cdf;
+
+/// One cell of a [`Table`] row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// A floating-point measurement.
+    Num(f64),
+    /// An integral count or identifier.
+    Int(i64),
+    /// A free-form label.
+    Text(String),
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Num(v)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+
+impl From<i64> for Cell {
+    fn from(v: i64) -> Self {
+        Cell::Int(v)
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(v: &str) -> Self {
+        Cell::Text(v.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(v: String) -> Self {
+        Cell::Text(v)
+    }
+}
+
+impl Cell {
+    /// Console rendering (compact float precision).
+    pub fn display(&self) -> String {
+        match self {
+            Cell::Num(v) => format!("{v:.4}"),
+            Cell::Int(v) => v.to_string(),
+            Cell::Text(v) => v.clone(),
+        }
+    }
+
+    /// File rendering (full float precision, for diffable output).
+    pub fn full_precision(&self) -> String {
+        match self {
+            Cell::Num(v) => format!("{v:?}"),
+            Cell::Int(v) => v.to_string(),
+            Cell::Text(v) => v.clone(),
+        }
+    }
+}
+
+/// A named table of homogeneous rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table name (becomes part of the CSV file name).
+    pub name: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows; each row has one cell per column.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// An empty table with the given name and column headers.
+    pub fn new(name: &str, columns: &[&str]) -> Self {
+        Table {
+            name: name.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    /// Panics when the row length does not match the column count.
+    pub fn row<C: Into<Cell>, I: IntoIterator<Item = C>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<Cell> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "table '{}' expects {} columns",
+            self.name,
+            self.columns.len()
+        );
+        self.rows.push(row);
+        self
+    }
+}
+
+/// One structural element of a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Block {
+    /// A CDF over raw samples (the paper's dominant figure form).
+    Cdf {
+        /// Series label, e.g. `"fig08 4x4 CAS capacity (bit/s/Hz)"`.
+        label: String,
+        /// Raw samples in collection order (the CDF sorts internally).
+        samples: Vec<f64>,
+    },
+    /// The headline "baseline vs MIDAS" median comparison the paper quotes.
+    Gain {
+        /// Comparison label, e.g. `"fig15 3-AP end-to-end"`.
+        label: String,
+        /// Median of the baseline series.
+        baseline_median: f64,
+        /// Median of the improved series.
+        improved_median: f64,
+    },
+    /// A generic table (per-topology rows, ablation sweeps, timings).
+    Table(Table),
+    /// A free-form annotation (paper quotes, caveats).
+    Note(String),
+}
+
+/// A figure: named, optionally seeded, built from ordered blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Figure name — the stem of every file the sinks write.
+    pub name: String,
+    /// Seed the series were generated from, when applicable.
+    pub seed: Option<u64>,
+    /// Ordered content blocks.
+    pub blocks: Vec<Block>,
+}
+
+impl Figure {
+    /// A new empty figure.
+    pub fn new(name: &str) -> Self {
+        Figure {
+            name: name.to_string(),
+            seed: None,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Records the seed the figure was generated from.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Adds a CDF series.
+    pub fn cdf(&mut self, label: &str, samples: &[f64]) -> &mut Self {
+        self.blocks.push(Block::Cdf {
+            label: label.to_string(),
+            samples: samples.to_vec(),
+        });
+        self
+    }
+
+    /// Adds the headline median-gain comparison of two series.
+    pub fn gain(&mut self, label: &str, baseline: &[f64], improved: &[f64]) -> &mut Self {
+        self.blocks.push(Block::Gain {
+            label: label.to_string(),
+            baseline_median: Cdf::new(baseline).median(),
+            improved_median: Cdf::new(improved).median(),
+        });
+        self
+    }
+
+    /// Adds a completed table.
+    pub fn table(&mut self, table: Table) -> &mut Self {
+        self.blocks.push(Block::Table(table));
+        self
+    }
+
+    /// Adds a free-form note.
+    pub fn note(&mut self, text: &str) -> &mut Self {
+        self.blocks.push(Block::Note(text.to_string()));
+        self
+    }
+
+    /// Renders the figure through every configured sink: always stdout, plus
+    /// CSV and JSON files when a figure directory is selected via
+    /// `MIDAS_FIGURE_DIR` or `--figure-dir` (see [`crate::sink`]).
+    pub fn emit(&self) {
+        crate::sink::emit_to_configured(self, true);
+    }
+
+    /// Like [`Figure::emit`] but skips the stdout sink — for targets that
+    /// already print their own console report (e.g. criterion-style timing
+    /// benches).
+    pub fn emit_files_only(&self) {
+        crate::sink::emit_to_configured(self, false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rejects_mismatched_rows() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row([1.0, 2.0]);
+        let result = std::panic::catch_unwind(move || t.row([1.0]).rows.len());
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn cells_render_with_both_precisions() {
+        assert_eq!(Cell::Num(1.0 / 3.0).display(), "0.3333");
+        assert_eq!(Cell::Num(0.1).full_precision(), "0.1");
+        assert_eq!(Cell::Int(-3).display(), "-3");
+        assert_eq!(Cell::from("x").full_precision(), "x");
+    }
+
+    #[test]
+    fn gain_records_the_medians() {
+        let mut f = Figure::new("fig");
+        f.gain("g", &[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]);
+        match &f.blocks[0] {
+            Block::Gain {
+                baseline_median,
+                improved_median,
+                ..
+            } => {
+                assert_eq!(*baseline_median, 2.0);
+                assert_eq!(*improved_median, 4.0);
+            }
+            other => panic!("unexpected block {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_preserves_block_order() {
+        let mut f = Figure::new("fig").with_seed(7);
+        f.cdf("c", &[1.0]).note("n").table(Table::new("t", &[]));
+        assert_eq!(f.seed, Some(7));
+        assert!(matches!(f.blocks[0], Block::Cdf { .. }));
+        assert!(matches!(f.blocks[1], Block::Note(_)));
+        assert!(matches!(f.blocks[2], Block::Table(_)));
+    }
+}

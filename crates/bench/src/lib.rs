@@ -1,38 +1,21 @@
-//! Shared helpers for the MIDAS benchmark harness.
+//! Shared infrastructure for the MIDAS benchmark harness.
 //!
 //! Each bench target in `benches/` regenerates one table or figure of the
-//! paper by calling the corresponding runner in `midas::experiment` and
-//! printing (i) the raw series the figure plots and (ii) the summary
-//! statistic the paper quotes in the text, so the output can be compared
-//! against the publication side by side.
+//! paper by calling the corresponding runner in `midas::experiment`, builds a
+//! structured [`Figure`] from the resulting series, and emits it through the
+//! sink layer ([`sink`]): the classic console report is always printed, and
+//! when a figure directory is selected (`MIDAS_FIGURE_DIR=<dir>` or
+//! `--figure-dir <dir>`, default `target/figures/`) the same series also land
+//! as diffable CSV and JSON files, so regenerated curves can be compared
+//! against the paper's published ones automatically.
 
-use midas_net::metrics::Cdf;
+pub mod figure;
+pub mod sink;
+
+pub use figure::{Block, Cell, Figure, Table};
+pub use sink::{
+    default_figure_dir, figure_dir, CsvSink, JsonSink, Sink, StdoutSink, FIGURE_DIR_ENV,
+};
 
 /// Default seed used by every bench so results are reproducible run-to-run.
 pub const BENCH_SEED: u64 = 0x11DA5;
-
-/// Prints a labelled CDF as `value<TAB>probability` rows (down-sampled).
-pub fn print_cdf(label: &str, samples: &[f64]) {
-    let cdf = Cdf::new(samples);
-    println!("# CDF: {label} (n={})", cdf.len());
-    print!("{}", cdf.to_rows(25));
-    println!(
-        "# {label}: median={:.3} mean={:.3} p10={:.3} p90={:.3}",
-        cdf.median(),
-        cdf.mean(),
-        cdf.quantile(0.1),
-        cdf.quantile(0.9)
-    );
-}
-
-/// Prints the headline "A vs B" median comparison the paper quotes.
-pub fn print_median_gain(label: &str, baseline: &[f64], improved: &[f64]) {
-    let b = Cdf::new(baseline).median();
-    let i = Cdf::new(improved).median();
-    println!(
-        "# {label}: baseline median={:.3}, MIDAS median={:.3}, median gain={:.1}%",
-        b,
-        i,
-        (i / b - 1.0) * 100.0
-    );
-}

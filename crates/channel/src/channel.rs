@@ -129,7 +129,11 @@ fn antenna_correlation_cholesky(antennas: &[Point]) -> Vec<Vec<f64>> {
     let mut l_mat = vec![vec![0.0f64; n]; n];
     for i in 0..n {
         for j in 0..=i {
-            let dot: f64 = l_mat[i][..j].iter().zip(&l_mat[j][..j]).map(|(a, b)| a * b).sum();
+            let dot: f64 = l_mat[i][..j]
+                .iter()
+                .zip(&l_mat[j][..j])
+                .map(|(a, b)| a * b)
+                .sum();
             let sum = r[i][j] - dot;
             if i == j {
                 l_mat[i][j] = sum.max(1e-12).sqrt();
@@ -270,7 +274,9 @@ impl ChannelModel {
         let mut large_scale = vec![vec![0.0; n_a]; n_c];
         for (j, cpos) in clients.iter().enumerate() {
             // Correlated scattered components across this client's antennas.
-            let z: Vec<Complex> = (0..n_a).map(|_| fading::sample_cn01(&mut self.rng)).collect();
+            let z: Vec<Complex> = (0..n_a)
+                .map(|_| fading::sample_cn01(&mut self.rng))
+                .collect();
             let scattered: Vec<Complex> = (0..n_a)
                 .map(|k| {
                     (0..=k)
@@ -444,7 +450,7 @@ mod tests {
         let clients = topo.clients_of(0);
         let ch = model.realize(&topo.aps[0], &clients);
         let later = model.evolve(&ch, 10.0); // >> coherence time
-        // Large-scale structure retained, small-scale changed.
+                                             // Large-scale structure retained, small-scale changed.
         assert_eq!(later.large_scale, ch.large_scale);
         assert!(!later.h.approx_eq(&ch.h, 1e-6));
     }

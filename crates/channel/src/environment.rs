@@ -171,9 +171,18 @@ mod tests {
 
     #[test]
     fn preset_lookup_matches_constructors() {
-        assert_eq!(Environment::preset(EnvironmentKind::OfficeA), Environment::office_a());
-        assert_eq!(Environment::preset(EnvironmentKind::OfficeB), Environment::office_b());
-        assert_eq!(Environment::preset(EnvironmentKind::OpenPlan), Environment::open_plan());
+        assert_eq!(
+            Environment::preset(EnvironmentKind::OfficeA),
+            Environment::office_a()
+        );
+        assert_eq!(
+            Environment::preset(EnvironmentKind::OfficeB),
+            Environment::office_b()
+        );
+        assert_eq!(
+            Environment::preset(EnvironmentKind::OpenPlan),
+            Environment::open_plan()
+        );
     }
 
     #[test]
@@ -227,6 +236,8 @@ mod tests {
 
     #[test]
     fn office_b_coverage_is_smaller_than_office_a() {
-        assert!(Environment::office_b().coverage_range_m() < Environment::office_a().coverage_range_m());
+        assert!(
+            Environment::office_b().coverage_range_m() < Environment::office_a().coverage_range_m()
+        );
     }
 }

@@ -109,7 +109,11 @@ mod tests {
             .map(|_| FadingKind::Rayleigh.sample(&mut rng).norm_sqr())
             .collect();
         let ray_mean: f64 = ray_powers.iter().sum::<f64>() / n as f64;
-        let var_ray = ray_powers.iter().map(|p| (p - ray_mean).powi(2)).sum::<f64>() / n as f64;
+        let var_ray = ray_powers
+            .iter()
+            .map(|p| (p - ray_mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         assert!(
             var_rician < var_ray,
             "Rician power variance {var_rician} should be below Rayleigh {var_ray}"

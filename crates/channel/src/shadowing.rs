@@ -41,7 +41,10 @@ impl Shadowing {
     /// correlated obstructions; the DAS topology generator uses a modest
     /// positive correlation for antennas of the same AP.
     pub fn sample_correlated_db(&self, rng: &mut SimRng, rho: f64) -> (f64, f64) {
-        assert!((-1.0..=1.0).contains(&rho), "correlation must be in [-1, 1]");
+        assert!(
+            (-1.0..=1.0).contains(&rho),
+            "correlation must be in [-1, 1]"
+        );
         let z1 = rng.gaussian();
         let z2 = rng.gaussian();
         let a = self.sigma_db * z1;
@@ -81,7 +84,9 @@ mod tests {
         let mut rng = SimRng::new(3);
         let n = 40_000;
         let rho = 0.6;
-        let pairs: Vec<(f64, f64)> = (0..n).map(|_| s.sample_correlated_db(&mut rng, rho)).collect();
+        let pairs: Vec<(f64, f64)> = (0..n)
+            .map(|_| s.sample_correlated_db(&mut rng, rho))
+            .collect();
         let mean_a = pairs.iter().map(|p| p.0).sum::<f64>() / n as f64;
         let mean_b = pairs.iter().map(|p| p.1).sum::<f64>() / n as f64;
         let mut cov = 0.0;

@@ -302,7 +302,11 @@ pub fn multi_ap(
         clients.append(&mut c);
         aps.push(ap);
     }
-    Topology { region, aps, clients }
+    Topology {
+        region,
+        aps,
+        clients,
+    }
 }
 
 /// The paper's 3-AP testbed layout: APs with ~15 m spacing, all within
@@ -353,7 +357,10 @@ pub fn eight_ap_large_scale(
                     rng.uniform_range(region.min.x, region.max.x),
                     rng.uniform_range(region.min.y, region.max.y),
                 );
-                let overheard = positions.iter().filter(|q| q.distance(&p) < cs_range).count();
+                let overheard = positions
+                    .iter()
+                    .filter(|q| q.distance(&p) < cs_range)
+                    .count();
                 if overheard <= max_overheard {
                     positions.push(p);
                     placed = true;
@@ -477,7 +484,10 @@ mod tests {
         assert_eq!(topo.total_antennas(), 4);
         assert_eq!(topo.clients.len(), 6);
         assert_eq!(topo.clients_of(0).len(), 6);
-        assert!(topo.clients.iter().all(|c| topo.region.contains(&c.position)));
+        assert!(topo
+            .clients
+            .iter()
+            .all(|c| topo.region.contains(&c.position)));
     }
 
     #[test]

@@ -29,12 +29,17 @@ pub struct ChannelTrace {
 impl ChannelTrace {
     /// Creates an empty trace.
     pub fn new() -> Self {
-        ChannelTrace { entries: Vec::new() }
+        ChannelTrace {
+            entries: Vec::new(),
+        }
     }
 
     /// Appends a snapshot.
     pub fn record(&mut self, topology_id: usize, channel: ChannelMatrix) {
-        self.entries.push(TraceEntry { topology_id, channel });
+        self.entries.push(TraceEntry {
+            topology_id,
+            channel,
+        });
     }
 
     /// Number of recorded snapshots.
@@ -105,10 +110,14 @@ impl ChannelTrace {
             if fields.len() != 6 || fields[0] != "entry" {
                 return Err(format!("malformed entry header: {header}"));
             }
-            let parse_usize =
-                |s: &str| s.parse::<usize>().map_err(|e| format!("bad integer '{s}': {e}"));
-            let parse_f64 =
-                |s: &str| s.parse::<f64>().map_err(|e| format!("bad float '{s}': {e}"));
+            let parse_usize = |s: &str| {
+                s.parse::<usize>()
+                    .map_err(|e| format!("bad integer '{s}': {e}"))
+            };
+            let parse_f64 = |s: &str| {
+                s.parse::<f64>()
+                    .map_err(|e| format!("bad float '{s}': {e}"))
+            };
             let topology_id = parse_usize(fields[1])?;
             let clients = parse_usize(fields[2])?;
             let antennas = parse_usize(fields[3])?;

@@ -3,9 +3,13 @@
 //! Each function regenerates the data series behind one figure; the benchmark
 //! harness in `crates/bench` calls these and prints the series plus the
 //! summary statistic the paper quotes.  All runners are deterministic in the
-//! supplied seed.
+//! supplied seed and execute through the shared [`SeedSweep`] engine
+//! (`midas::runner`), which fans independent per-topology trials across a
+//! worker pool while collecting samples in trial order — so every series is
+//! bit-identical at any thread count (`MIDAS_THREADS`).
 
 use crate::config::SystemConfig;
+use crate::runner::SeedSweep;
 use crate::system::SingleApSystem;
 use midas_channel::geometry::{Point, Rect};
 use midas_channel::topology::{single_ap, TopologyConfig};
@@ -33,36 +37,60 @@ pub struct PairedSamples {
     pub das: Vec<f64>,
 }
 
+impl PairedSamples {
+    /// Collects per-trial `(cas, das)` pairs, in trial order.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        let mut out = PairedSamples::default();
+        for (cas, das) in pairs {
+            out.cas.push(cas);
+            out.das.push(das);
+        }
+        out
+    }
+
+    /// Concatenates per-trial `(cas, das)` sample groups, in trial order —
+    /// for runners that emit several samples per topology (e.g. one per
+    /// client link).
+    pub fn from_groups(groups: impl IntoIterator<Item = (Vec<f64>, Vec<f64>)>) -> Self {
+        let mut out = PairedSamples::default();
+        for (cas, das) in groups {
+            out.cas.extend(cas);
+            out.das.extend(das);
+        }
+        out
+    }
+}
+
 /// Fig. 3 — CDF of the capacity *drop* caused by naïve per-antenna power
 /// scaling (unconstrained ZFBF capacity minus naïvely-scaled capacity) for
 /// 4×4 MU-MIMO, CAS vs DAS.
 pub fn fig03_naive_scaling_drop(topologies: usize, seed: u64) -> PairedSamples {
-    let mut out = PairedSamples::default();
-    for t in 0..topologies as u64 {
-        let sys = SingleApSystem::generate(&SystemConfig::default(), seed ^ (t * 7919 + 1));
+    let sweep = SeedSweep::new(seed).with_mix(7919, 1);
+    PairedSamples::from_pairs(sweep.run(topologies, &|_t: usize, s: u64| {
+        let sys = SingleApSystem::generate(&SystemConfig::default(), s);
         let drop = |ch: &midas_channel::ChannelMatrix| {
             let zf = ZfbfPrecoder.precode_channel(ch);
             let naive = NaiveScaledPrecoder.precode_channel(ch);
             (zf.sum_capacity - naive.sum_capacity).max(0.0)
         };
-        out.cas.push(drop(sys.cas_channel()));
-        out.das.push(drop(sys.das_channel()));
-    }
-    out
+        (drop(sys.cas_channel()), drop(sys.das_channel()))
+    }))
 }
 
 /// Fig. 7 — CDF of SISO link SNR (dB) across clients, CAS vs DAS, using the
 /// paper's greedy client→antenna mapping (strongest pair first, each antenna
 /// used once).
 pub fn fig07_link_snr(topologies: usize, seed: u64) -> PairedSamples {
-    let mut out = PairedSamples::default();
     let env = Environment::office_a();
-    for t in 0..topologies as u64 {
-        let mut rng = SimRng::new(seed ^ (t * 6151 + 3));
+    let sweep = SeedSweep::new(seed).with_mix(6151, 3);
+    PairedSamples::from_groups(sweep.run(topologies, &|_t: usize, s: u64| {
+        let mut rng = SimRng::new(s);
         let cfg = TopologyConfig::das(4, 4);
         let pair = PairedTopology::single_ap(&cfg, 40.0, &mut rng);
-        let mut model = ChannelModel::new(env, seed ^ (t * 6151 + 3));
-        for (topo, sink) in [(&pair.cas, &mut out.cas), (&pair.das, &mut out.das)] {
+        let mut model = ChannelModel::new(env, s);
+        let mut cas = Vec::new();
+        let mut das = Vec::new();
+        for (topo, sink) in [(&pair.cas, &mut cas), (&pair.das, &mut das)] {
             let clients = topo.clients_of(0);
             let ch = model.realize(&topo.aps[0], &clients);
             // Greedy mapping: repeatedly take the strongest remaining
@@ -84,8 +112,8 @@ pub fn fig07_link_snr(topologies: usize, seed: u64) -> PairedSamples {
                 free_antennas.retain(|&x| x != best.1);
             }
         }
-    }
-    out
+        (cas, das)
+    }))
 }
 
 /// Figs. 8 and 9 — MU-MIMO sum-capacity CDF (bit/s/Hz), CAS (baseline
@@ -103,14 +131,12 @@ pub fn fig08_09_capacity(
         clients: antennas,
         ..SystemConfig::default()
     };
-    let mut out = PairedSamples::default();
-    for t in 0..topologies as u64 {
-        let sys = SingleApSystem::generate(&config, seed ^ (t * 2861 + 11));
+    let sweep = SeedSweep::new(seed).with_mix(2861, 11);
+    PairedSamples::from_pairs(sweep.run(topologies, &|_t: usize, s: u64| {
+        let sys = SingleApSystem::generate(&config, s);
         let cmp = sys.downlink_comparison();
-        out.cas.push(cmp.cas_capacity);
-        out.das.push(cmp.midas_capacity);
-    }
-    out
+        (cmp.cas_capacity, cmp.midas_capacity)
+    }))
 }
 
 /// Fig. 10 — impact of the power-balanced ("smart") precoder on CAS and on
@@ -130,15 +156,24 @@ pub struct SmartPrecodingSeries {
 /// Runs the Fig. 10 experiment (4×4, Office B in the paper).
 pub fn fig10_smart_precoding(topologies: usize, seed: u64) -> SmartPrecodingSeries {
     let config = SystemConfig::default().with_environment(EnvironmentKind::OfficeB);
-    let mut out = SmartPrecodingSeries::default();
-    for t in 0..topologies as u64 {
-        let sys = SingleApSystem::generate(&config, seed ^ (t * 4513 + 17));
+    let sweep = SeedSweep::new(seed).with_mix(4513, 17);
+    let rows = sweep.run(topologies, &|_t: usize, s: u64| {
+        let sys = SingleApSystem::generate(&config, s);
         let naive = NaiveScaledPrecoder;
         let smart = PowerBalancedPrecoder::default();
-        out.cas_naive.push(naive.precode_channel(sys.cas_channel()).sum_capacity);
-        out.cas_smart.push(smart.precode_channel(sys.cas_channel()).sum_capacity);
-        out.das_naive.push(naive.precode_channel(sys.das_channel()).sum_capacity);
-        out.das_smart.push(smart.precode_channel(sys.das_channel()).sum_capacity);
+        [
+            naive.precode_channel(sys.cas_channel()).sum_capacity,
+            smart.precode_channel(sys.cas_channel()).sum_capacity,
+            naive.precode_channel(sys.das_channel()).sum_capacity,
+            smart.precode_channel(sys.das_channel()).sum_capacity,
+        ]
+    });
+    let mut out = SmartPrecodingSeries::default();
+    for [cn, cs, dn, ds] in rows {
+        out.cas_naive.push(cn);
+        out.cas_smart.push(cs);
+        out.das_naive.push(dn);
+        out.das_smart.push(ds);
     }
     out
 }
@@ -149,11 +184,10 @@ pub fn fig10_smart_precoding(topologies: usize, seed: u64) -> SmartPrecodingSeri
 /// channel (the paper's explanation for MIDAS occasionally winning).
 pub fn fig11_optimal_comparison(topologies: usize, stale_csi: bool, seed: u64) -> PairedSamples {
     // `cas` field holds the optimal precoder series, `das` the MIDAS series.
-    let mut out = PairedSamples::default();
     let env = Environment::office_a();
     let sounding = SoundingProcess::new(SoundingConfig::default());
-    for t in 0..topologies as u64 {
-        let s = seed ^ (t * 3571 + 23);
+    let sweep = SeedSweep::new(seed).with_mix(3571, 23);
+    PairedSamples::from_pairs(sweep.run(topologies, &|_t: usize, s: u64| {
         let mut rng = SimRng::new(s);
         let cfg = TopologyConfig::das(4, 4);
         let region = Rect::new(Point::new(0.0, 0.0), 40.0, 40.0);
@@ -176,7 +210,9 @@ pub fn fig11_optimal_comparison(topologies: usize, stale_csi: bool, seed: u64) -
                 noise_mw: ch.noise_mw,
             };
             let evolved = model.evolve(&old_ch, 2.0);
-            let v = OptimalPrecoder::with_iterations(1500).precode_channel(&evolved).v;
+            let v = OptimalPrecoder::with_iterations(1500)
+                .precode_channel(&evolved)
+                .v;
             // Evaluate the stale precoder against the *current* channel.
             midas_phy::precoder::Precoding::evaluate(
                 PrecoderKind::Optimal,
@@ -188,50 +224,51 @@ pub fn fig11_optimal_comparison(topologies: usize, stale_csi: bool, seed: u64) -
         } else {
             OptimalPrecoder::with_iterations(1500).precode_channel(&ch)
         };
-        out.cas.push(optimal.sum_capacity);
-        out.das.push(midas.sum_capacity);
-    }
-    out
+        (optimal.sum_capacity, midas.sum_capacity)
+    }))
 }
 
 /// Fig. 12 — ratio of simultaneous transmissions (MIDAS / CAS) over random
-/// 3-AP topologies.
+/// 3-AP topologies.  Each trial derives its own contention RNG from the
+/// mixed trial seed, so the series is independent of execution order.
 pub fn fig12_simultaneous_tx(topologies: usize, seed: u64) -> Vec<f64> {
     let env = Environment::office_a();
     let cfg = paper_das_config(&env, 4, 4);
-    let mut rng = SimRng::new(seed);
-    (0..topologies as u64)
-        .map(|t| {
-            let mut trng = SimRng::new(seed ^ (t * 1409 + 31));
-            let pair = PairedTopology::three_ap(&cfg, &mut trng);
-            spatial_reuse_trial(&pair, &env, &mut rng).ratio()
-        })
-        .collect()
+    let sweep = SeedSweep::new(seed).with_mix(1409, 31);
+    sweep.run(topologies, &|_t: usize, s: u64| {
+        let mut trng = SimRng::new(s);
+        let pair = PairedTopology::three_ap(&cfg, &mut trng);
+        let mut reuse_rng = SimRng::new(s ^ 0x5EED);
+        spatial_reuse_trial(&pair, &env, &mut reuse_rng).ratio()
+    })
 }
 
 /// Fig. 13 / §5.3.3 — dead-zone comparison over random DAS deployments.
 pub fn fig13_deadzones(deployments: usize, seed: u64) -> Vec<DeadzoneComparison> {
     let env = Environment::office_b();
     let radius = env.coverage_range_m() * 0.9;
-    (0..deployments as u64)
-        .map(|d| {
-            let mut rng = SimRng::new(seed ^ (d * 947 + 41));
-            let cfg = TopologyConfig {
-                das_radius_min_m: 0.4 * radius,
-                das_radius_max_m: 0.7 * radius,
-                ..TopologyConfig::das(4, 4)
-            };
-            let pair = PairedTopology::single_ap(&cfg, 3.0 * radius, &mut rng);
-            compare_deadzones(&pair, &env, radius, 0.5, seed ^ (d * 947 + 43))
-        })
-        .collect()
+    let sweep = SeedSweep::new(seed).with_mix(947, 41);
+    sweep.run(deployments, &|d: usize, s: u64| {
+        let mut rng = SimRng::new(s);
+        let cfg = TopologyConfig {
+            das_radius_min_m: 0.4 * radius,
+            das_radius_max_m: 0.7 * radius,
+            ..TopologyConfig::das(4, 4)
+        };
+        let pair = PairedTopology::single_ap(&cfg, 3.0 * radius, &mut rng);
+        compare_deadzones(&pair, &env, radius, 0.5, seed ^ (d as u64 * 947 + 43))
+    })
 }
 
 /// §5.3.4 — hidden-terminal spot comparison over random antenna deployments.
+/// Each deployment draws from an RNG derived from its own mixed trial seed.
 pub fn sec534_hidden_terminals(deployments: usize, seed: u64) -> Vec<HiddenTerminalComparison> {
     let scenario = HiddenTerminalScenario::new(Environment::office_a());
-    let mut rng = SimRng::new(seed);
-    (0..deployments).map(|_| scenario.compare(1.0, &mut rng)).collect()
+    let sweep = SeedSweep::new(seed).with_mix(523, 89);
+    sweep.run(deployments, &|_d: usize, s: u64| {
+        let mut rng = SimRng::new(s);
+        scenario.compare(1.0, &mut rng)
+    })
 }
 
 /// Fig. 14 — virtual packet tagging: capacity with tagging-driven client
@@ -239,10 +276,9 @@ pub fn sec534_hidden_terminals(deployments: usize, seed: u64) -> Vec<HiddenTermi
 /// available and 4 clients are backlogged.  The `cas` field holds the random
 /// selection, `das` the tagged selection.
 pub fn fig14_packet_tagging(topologies: usize, seed: u64) -> PairedSamples {
-    let mut out = PairedSamples::default();
     let config = SystemConfig::default();
-    for t in 0..topologies as u64 {
-        let s = seed ^ (t * 677 + 53);
+    let sweep = SeedSweep::new(seed).with_mix(677, 53);
+    PairedSamples::from_pairs(sweep.run(topologies, &|_t: usize, s: u64| {
         let sys = SingleApSystem::generate(&config, s);
         let ch = sys.das_channel();
         let mut rng = SimRng::new(s ^ 0xFACE);
@@ -291,10 +327,8 @@ pub fn fig14_packet_tagging(topologies: usize, seed: u64) -> PairedSamples {
             let sub = ch.select(clients, &available);
             precoder.precode_channel(&sub).sum_capacity
         };
-        out.das.push(capacity(&tagged_clients));
-        out.cas.push(capacity(&random_clients));
-    }
-    out
+        (capacity(&random_clients), capacity(&tagged_clients))
+    }))
 }
 
 /// Figs. 15 / 16 — end-to-end network capacity of CAS vs MIDAS over random
@@ -311,9 +345,8 @@ pub fn end_to_end_capacity(
         Environment::office_a()
     };
     let cfg = paper_das_config(&env, 4, 4);
-    let mut out = PairedSamples::default();
-    for t in 0..topologies as u64 {
-        let s = seed ^ (t * 193 + 61);
+    let sweep = SeedSweep::new(seed).with_mix(193, 61);
+    PairedSamples::from_pairs(sweep.run(topologies, &|_t: usize, s: u64| {
         let mut rng = SimRng::new(s);
         let pair = if eight_aps {
             PairedTopology::eight_ap(&cfg, &env, &mut rng)
@@ -324,10 +357,15 @@ pub fn end_to_end_capacity(
         let mut cas_cfg = NetworkSimConfig::cas(env, s);
         midas_cfg.rounds = rounds;
         cas_cfg.rounds = rounds;
-        out.das.push(NetworkSimulator::new(pair.das, midas_cfg).run().mean_capacity());
-        out.cas.push(NetworkSimulator::new(pair.cas, cas_cfg).run().mean_capacity());
-    }
-    out
+        (
+            NetworkSimulator::new(pair.cas, cas_cfg)
+                .run()
+                .mean_capacity(),
+            NetworkSimulator::new(pair.das, midas_cfg)
+                .run()
+                .mean_capacity(),
+        )
+    }))
 }
 
 /// Ablation — tag-width sweep (§3.2.4 discusses 1, 2 and "all" antennas per
@@ -335,20 +373,21 @@ pub fn end_to_end_capacity(
 pub fn ablation_tag_width(widths: &[usize], topologies: usize, seed: u64) -> Vec<(usize, f64)> {
     let env = Environment::office_a();
     let cfg = paper_das_config(&env, 4, 4);
+    let sweep = SeedSweep::new(seed).with_mix(389, 71);
     widths
         .iter()
         .map(|&w| {
-            let mut total = 0.0;
-            for t in 0..topologies as u64 {
-                let s = seed ^ (t * 389 + 71);
+            let caps = sweep.run(topologies, &|_t: usize, s: u64| {
                 let mut rng = SimRng::new(s);
                 let pair = PairedTopology::three_ap(&cfg, &mut rng);
                 let mut sim_cfg = NetworkSimConfig::midas(env, s);
                 sim_cfg.tag_width = w;
                 sim_cfg.rounds = 10;
-                total += NetworkSimulator::new(pair.das, sim_cfg).run().mean_capacity();
-            }
-            (w, total / topologies as f64)
+                NetworkSimulator::new(pair.das, sim_cfg)
+                    .run()
+                    .mean_capacity()
+            });
+            (w, caps.iter().sum::<f64>() / topologies as f64)
         })
         .collect()
 }
@@ -363,12 +402,11 @@ pub fn ablation_das_radius(
 ) -> Vec<((f64, f64), f64)> {
     let env = Environment::office_a();
     let range = env.coverage_range_m();
+    let sweep = SeedSweep::new(seed).with_mix(271, 83);
     fractions
         .iter()
         .map(|&(lo, hi)| {
-            let mut caps = Vec::new();
-            for t in 0..topologies as u64 {
-                let s = seed ^ (t * 271 + 83);
+            let caps = sweep.run(topologies, &|_t: usize, s: u64| {
                 let mut rng = SimRng::new(s);
                 let cfg = TopologyConfig {
                     das_radius_min_m: lo * range,
@@ -379,8 +417,10 @@ pub fn ablation_das_radius(
                 let mut model = ChannelModel::new(env, s);
                 let clients = pair.das.clients_of(0);
                 let ch = model.realize(&pair.das.aps[0], &clients);
-                caps.push(PowerBalancedPrecoder::default().precode_channel(&ch).sum_capacity);
-            }
+                PowerBalancedPrecoder::default()
+                    .precode_channel(&ch)
+                    .sum_capacity
+            });
             ((lo, hi), midas_net::metrics::Cdf::new(&caps).median())
         })
         .collect()
@@ -388,16 +428,17 @@ pub fn ablation_das_radius(
 
 /// Ablation — opportunistic-wait window sweep (§3.2.3): fraction of planning
 /// attempts in which waiting up to the window adds at least one antenna,
-/// over random busy patterns.
+/// over random busy patterns.  Busy patterns are derived per trial from the
+/// mixed seed, so every window is evaluated against the same patterns.
 pub fn ablation_antenna_wait(windows_us: &[u64], trials: usize, seed: u64) -> Vec<(u64, f64)> {
     use midas_mac::antenna_select::select_opportunistic;
     use midas_mac::carrier_sense::CarrierSense;
-    let mut rng = SimRng::new(seed);
+    let sweep = SeedSweep::new(seed).with_mix(149, 97);
     windows_us
         .iter()
         .map(|&w| {
-            let mut gained = 0usize;
-            for _ in 0..trials {
+            let gains = sweep.run(trials, &|_t: usize, s: u64| {
+                let mut rng = SimRng::new(s);
                 let mut cs = CarrierSense::new(4, -76.0);
                 let now = 10_000u64;
                 // Random busy pattern: each non-primary antenna busy with 50%
@@ -409,10 +450,9 @@ pub fn ablation_antenna_wait(windows_us: &[u64], trials: usize, seed: u64) -> Ve
                 }
                 let baseline = select_opportunistic(&cs, 0, now, 0).len();
                 let with_wait = select_opportunistic(&cs, 0, now, w).len();
-                if with_wait > baseline {
-                    gained += 1;
-                }
-            }
+                with_wait > baseline
+            });
+            let gained = gains.iter().filter(|&&g| g).count();
             (w, gained as f64 / trials as f64)
         })
         .collect()
@@ -441,8 +481,8 @@ mod tests {
     fn fig08_midas_beats_cas_for_both_antenna_counts() {
         for antennas in [2usize, 4] {
             let s = fig08_09_capacity(EnvironmentKind::OfficeA, antennas, 12, 3);
-            let gain = (Cdf::new(&s.das).median() - Cdf::new(&s.cas).median())
-                / Cdf::new(&s.cas).median();
+            let gain =
+                (Cdf::new(&s.das).median() - Cdf::new(&s.cas).median()) / Cdf::new(&s.cas).median();
             assert!(gain > 0.1, "{antennas} antennas: gain {gain:.2}");
         }
     }
@@ -452,7 +492,10 @@ mod tests {
         let s = fig10_smart_precoding(15, 4);
         let cas_gain = Cdf::new(&s.cas_smart).median() - Cdf::new(&s.cas_naive).median();
         let das_gain = Cdf::new(&s.das_smart).median() - Cdf::new(&s.das_naive).median();
-        assert!(das_gain > cas_gain, "DAS gain {das_gain:.2} vs CAS gain {cas_gain:.2}");
+        assert!(
+            das_gain > cas_gain,
+            "DAS gain {das_gain:.2} vs CAS gain {cas_gain:.2}"
+        );
     }
 
     #[test]

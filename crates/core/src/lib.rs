@@ -39,9 +39,11 @@
 
 pub mod config;
 pub mod experiment;
+pub mod runner;
 pub mod system;
 
 pub use config::SystemConfig;
+pub use runner::SeedSweep;
 pub use system::{DownlinkOutcome, SingleApSystem};
 
 /// Convenience re-exports for users of the library.

@@ -134,7 +134,11 @@ mod tests {
     fn midas_beats_cas_in_the_median_over_topologies() {
         let config = SystemConfig::default();
         let gains: Vec<f64> = (0..20)
-            .map(|seed| SingleApSystem::generate(&config, 100 + seed).downlink_comparison().gain())
+            .map(|seed| {
+                SingleApSystem::generate(&config, 100 + seed)
+                    .downlink_comparison()
+                    .gain()
+            })
             .collect();
         let median_gain = Cdf::new(&gains).median();
         assert!(

@@ -1,0 +1,34 @@
+//! Thread-count invariance through the public `MIDAS_THREADS` interface.
+//!
+//! This binary holds exactly one test on purpose: `std::env::set_var` while
+//! another thread calls `getenv` is a libc-level data race, so the override
+//! must never run concurrently with sibling tests that read the variable
+//! (every `SeedSweep::run` does).  With a single `#[test]`, all mutation and
+//! all reads happen on one thread.
+
+use midas::experiment::{end_to_end_capacity, fig07_link_snr, fig08_09_capacity};
+use midas::runner::THREADS_ENV;
+use midas_channel::EnvironmentKind;
+
+#[test]
+fn runner_series_are_identical_at_any_midas_threads_setting() {
+    // Representative single-sample-per-trial runner at 1 vs 4 workers.
+    let run = || fig08_09_capacity(EnvironmentKind::OfficeA, 4, 20, 1234);
+    std::env::set_var(THREADS_ENV, "1");
+    let serial = run();
+    std::env::set_var(THREADS_ENV, "4");
+    let parallel = run();
+    assert_eq!(serial.cas, parallel.cas);
+    assert_eq!(serial.das, parallel.das);
+
+    // Multi-sample-per-trial and multi-AP runners at an odd worker count vs
+    // the machine default.
+    std::env::set_var(THREADS_ENV, "3");
+    let snr = fig07_link_snr(10, 77);
+    let e2e = end_to_end_capacity(false, 4, 5, 77);
+    std::env::remove_var(THREADS_ENV);
+    assert_eq!(snr.cas, fig07_link_snr(10, 77).cas);
+    assert_eq!(snr.das, fig07_link_snr(10, 77).das);
+    assert_eq!(e2e.cas, end_to_end_capacity(false, 4, 5, 77).cas);
+    assert_eq!(e2e.das, end_to_end_capacity(false, 4, 5, 77).das);
+}

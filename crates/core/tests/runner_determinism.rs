@@ -1,0 +1,117 @@
+//! Golden-median regression tests for the `SeedSweep`-based experiment
+//! runners: series are unchanged vs pinned values — the exact medians the
+//! serial, hand-rolled loops produced before the engine refactor (for the
+//! two historically RNG-sharing runners, the values pinned are the
+//! per-trial-RNG ones introduced with the engine).
+//!
+//! Thread-count invariance via `MIDAS_THREADS` lives in its own test binary
+//! (`midas_threads_env.rs`): mutating the environment from a test that runs
+//! in parallel with siblings reading it would be a libc-level data race.
+
+use midas::experiment::*;
+use midas_channel::EnvironmentKind;
+use midas_net::metrics::Cdf;
+
+fn median(samples: &[f64]) -> f64 {
+    Cdf::new(samples).median()
+}
+
+// Golden medians at the seeds the unit tests use, captured from the serial
+// pre-engine runners (and, for the per-trial-RNG runners, at the engine's
+// introduction).  Exact equality: the engine guarantees bit-identical series.
+
+#[test]
+fn fig03_golden_medians() {
+    let s = fig03_naive_scaling_drop(15, 1);
+    assert_eq!(median(&s.cas), 2.246173875551124);
+    assert_eq!(median(&s.das), 4.743334572147057);
+}
+
+#[test]
+fn fig07_golden_medians() {
+    let s = fig07_link_snr(15, 2);
+    assert_eq!(median(&s.cas), 12.800544789561846);
+    assert_eq!(median(&s.das), 22.6635266629569);
+}
+
+#[test]
+fn fig08_09_golden_medians() {
+    let s = fig08_09_capacity(EnvironmentKind::OfficeA, 4, 12, 3);
+    assert_eq!(median(&s.cas), 16.821446945959003);
+    assert_eq!(median(&s.das), 24.414304691170663);
+}
+
+#[test]
+fn fig10_golden_medians() {
+    let s = fig10_smart_precoding(15, 4);
+    assert_eq!(median(&s.cas_naive), 10.659644196843496);
+    assert_eq!(median(&s.cas_smart), 10.869870637224388);
+    assert_eq!(median(&s.das_naive), 28.714182421525102);
+    assert_eq!(median(&s.das_smart), 29.404845701089307);
+}
+
+#[test]
+fn fig11_golden_medians() {
+    let fresh = fig11_optimal_comparison(8, false, 5);
+    assert_eq!(median(&fresh.cas), 20.278352869423454);
+    assert_eq!(median(&fresh.das), 20.278352869423454);
+    let stale = fig11_optimal_comparison(4, true, 5);
+    assert_eq!(median(&stale.cas), 2.749407526453317);
+    assert_eq!(median(&stale.das), 17.576011050143013);
+}
+
+#[test]
+fn fig12_golden_median() {
+    assert_eq!(median(&fig12_simultaneous_tx(20, 6)), 1.25);
+}
+
+#[test]
+fn fig13_golden_median() {
+    let dead: Vec<f64> = fig13_deadzones(6, 8)
+        .iter()
+        .map(|d| d.das_dead as f64)
+        .collect();
+    assert_eq!(median(&dead), 85.5);
+}
+
+#[test]
+fn sec534_golden_median() {
+    let spots: Vec<f64> = sec534_hidden_terminals(6, 12)
+        .iter()
+        .map(|h| h.cas_spots as f64)
+        .collect();
+    assert_eq!(median(&spots), 467.5);
+}
+
+#[test]
+fn fig14_golden_medians() {
+    let s = fig14_packet_tagging(25, 7);
+    assert_eq!(median(&s.cas), 11.20707662194512);
+    assert_eq!(median(&s.das), 12.248552009863502);
+}
+
+#[test]
+fn end_to_end_golden_medians() {
+    let s = end_to_end_capacity(false, 6, 10, 100);
+    assert_eq!(median(&s.cas), 20.46414268972919);
+    assert_eq!(median(&s.das), 20.826458303352467);
+}
+
+#[test]
+fn ablation_golden_values() {
+    assert_eq!(
+        ablation_tag_width(&[1, 2], 1, 9),
+        vec![(1, 18.570308758760063), (2, 15.66612680472162)]
+    );
+    assert_eq!(
+        ablation_das_radius(&[(0.2, 0.4), (0.5, 0.75)], 4, 10),
+        vec![
+            ((0.2, 0.4), 28.81614118545318),
+            ((0.5, 0.75), 24.776149359363842)
+        ]
+    );
+    assert_eq!(
+        ablation_antenna_wait(&[0, 34], 200, 11),
+        vec![(0, 0.0), (34, 0.615)]
+    );
+}

@@ -84,7 +84,10 @@ impl QrDecomposition {
         }
 
         // We accumulated Q^H; the Q factor is its Hermitian transpose.
-        QrDecomposition { q: q.hermitian(), r }
+        QrDecomposition {
+            q: q.hermitian(),
+            r,
+        }
     }
 
     /// Full `m x m` unitary factor.
@@ -101,13 +104,15 @@ impl QrDecomposition {
     pub fn thin_q(&self) -> CMat {
         let m = self.q.rows();
         let n = self.r.cols();
-        self.q.select(&(0..m).collect::<Vec<_>>(), &(0..n).collect::<Vec<_>>())
+        self.q
+            .select(&(0..m).collect::<Vec<_>>(), &(0..n).collect::<Vec<_>>())
     }
 
     /// Economical `n x n` R factor (first `n` rows of R).
     pub fn thin_r(&self) -> CMat {
         let n = self.r.cols();
-        self.r.select(&(0..n).collect::<Vec<_>>(), &(0..n).collect::<Vec<_>>())
+        self.r
+            .select(&(0..n).collect::<Vec<_>>(), &(0..n).collect::<Vec<_>>())
     }
 
     /// Solves the least-squares problem `min ||A x - b||` for full-column-rank A.

@@ -182,7 +182,9 @@ mod tests {
     use super::*;
 
     fn random_like(rows: usize, cols: usize, seed: u64) -> CMat {
-        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         let mut next = || {
             state = state
                 .wrapping_mul(6364136223846793005)
@@ -242,7 +244,11 @@ mod tests {
     #[test]
     fn rank_detects_deficiency() {
         // Rank-1 matrix: outer product of two vectors.
-        let u = [Complex::new(1.0, 0.5), Complex::new(-0.3, 2.0), Complex::new(0.7, 0.0)];
+        let u = [
+            Complex::new(1.0, 0.5),
+            Complex::new(-0.3, 2.0),
+            Complex::new(0.7, 0.0),
+        ];
         let v = [Complex::new(0.2, -1.0), Complex::new(1.5, 0.5)];
         let mut a = CMat::zeros(3, 2);
         for (i, &ui) in u.iter().enumerate() {

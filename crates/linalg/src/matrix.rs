@@ -413,7 +413,11 @@ mod tests {
         let i = CMat::identity(3);
         for r in 0..3 {
             for cidx in 0..3 {
-                let expect = if r == cidx { Complex::ONE } else { Complex::ZERO };
+                let expect = if r == cidx {
+                    Complex::ONE
+                } else {
+                    Complex::ZERO
+                };
                 assert_eq!(i.get(r, cidx), expect);
             }
         }

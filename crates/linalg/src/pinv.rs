@@ -27,7 +27,11 @@ pub fn pseudo_inverse(a: &CMat, tol: f64) -> CMat {
     let mut v_scaled = svd.v.clone();
     for c in 0..r {
         let s = svd.s[c];
-        let inv = if smax > 0.0 && s > tol * smax { 1.0 / s } else { 0.0 };
+        let inv = if smax > 0.0 && s > tol * smax {
+            1.0 / s
+        } else {
+            0.0
+        };
         v_scaled.scale_col(c, inv);
     }
     v_scaled.mul(&svd.u.hermitian())

@@ -191,7 +191,8 @@ impl ApMac for MidasApMac {
             .into_iter()
             .filter(|c| !plan.clients.contains(c))
             .collect();
-        self.drr.update_after_txop(&plan.clients, &unserved, txop_us);
+        self.drr
+            .update_after_txop(&plan.clients, &unserved, txop_us);
     }
 }
 
@@ -276,7 +277,8 @@ impl ApMac for CasApMac {
             .into_iter()
             .filter(|c| !plan.clients.contains(c))
             .collect();
-        self.drr.update_after_txop(&plan.clients, &unserved, txop_us);
+        self.drr
+            .update_after_txop(&plan.clients, &unserved, txop_us);
     }
 }
 
@@ -377,11 +379,17 @@ mod tests {
         let served = plan.clients.clone();
         mac.complete_transmission(&plan, 3_000);
         for &c in &served {
-            assert!(mac.drr().deficit(c) < 0.0, "served client {c} should have a negative deficit");
+            assert!(
+                mac.drr().deficit(c) < 0.0,
+                "served client {c} should have a negative deficit"
+            );
         }
         // One packet per served client was dequeued; each started with 2.
         for &c in &served {
-            assert_eq!(mac.backlogged_clients().iter().filter(|&&x| x == c).count(), 1);
+            assert_eq!(
+                mac.backlogged_clients().iter().filter(|&&x| x == c).count(),
+                1
+            );
         }
     }
 

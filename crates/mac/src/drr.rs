@@ -38,15 +38,12 @@ impl DrrScheduler {
     /// Ties are broken by the lower client index for determinism.  Returns
     /// `None` when the candidate list is empty.
     pub fn select(&self, candidates: &[usize]) -> Option<usize> {
-        candidates
-            .iter()
-            .copied()
-            .max_by(|&a, &b| {
-                self.deficits[a]
-                    .partial_cmp(&self.deficits[b])
-                    .unwrap()
-                    .then(b.cmp(&a))
-            })
+        candidates.iter().copied().max_by(|&a, &b| {
+            self.deficits[a]
+                .partial_cmp(&self.deficits[b])
+                .unwrap()
+                .then(b.cmp(&a))
+        })
     }
 
     /// Applies the MU-MIMO counter update after a transmission of duration
@@ -87,7 +84,11 @@ mod tests {
     #[test]
     fn select_picks_largest_deficit_with_deterministic_ties() {
         let mut s = DrrScheduler::new(4);
-        assert_eq!(s.select(&[2, 1, 3]), Some(1), "all-zero counters tie-break by index");
+        assert_eq!(
+            s.select(&[2, 1, 3]),
+            Some(1),
+            "all-zero counters tie-break by index"
+        );
         s.update_after_txop(&[1], &[2, 3], 1_000);
         // Client 1 now has -1000, clients 2 and 3 have +500 each.
         assert_eq!(s.select(&[1, 2, 3]), Some(2));

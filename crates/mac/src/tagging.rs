@@ -38,7 +38,12 @@ impl TagTable {
             .collect();
         let tags = preferences
             .iter()
-            .map(|pref| pref.iter().copied().take(tag_width.min(pref.len())).collect())
+            .map(|pref| {
+                pref.iter()
+                    .copied()
+                    .take(tag_width.min(pref.len()))
+                    .collect()
+            })
             .collect();
         TagTable {
             tags,
@@ -136,7 +141,7 @@ mod tests {
         let available = vec![0, 1];
         assert!(t.eligible(0, &available)); // tagged to 0
         assert!(t.eligible(1, &available)); // tagged to 1
-        // client 2 is tagged to [2, 1]; antenna 1 is available so it *is* eligible.
+                                            // client 2 is tagged to [2, 1]; antenna 1 is available so it *is* eligible.
         assert!(t.eligible(2, &available));
         // client 3 tagged to [3, 0]; antenna 0 available.
         assert!(t.eligible(3, &available));

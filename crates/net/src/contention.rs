@@ -178,6 +178,9 @@ mod tests {
                 found = true;
             }
         }
-        assert!(found, "expected a distance where only the aggregate is detectable");
+        assert!(
+            found,
+            "expected a distance where only the aggregate is detectable"
+        );
     }
 }

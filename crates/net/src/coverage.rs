@@ -145,7 +145,11 @@ mod tests {
         let mut model = ChannelModel::new(env, 2);
         // A tiny region right at the CAS AP position: everything is covered.
         let ap = &pair.cas.aps[0];
-        let region = Rect::new(Point::new(ap.position.x - 1.0, ap.position.y - 1.0), 2.0, 2.0);
+        let region = Rect::new(
+            Point::new(ap.position.x - 1.0, ap.position.y - 1.0),
+            2.0,
+            2.0,
+        );
         let map = coverage_map(ap, &region, &env, &mut model, 0.5);
         assert_eq!(map.dead_spots(), 0);
     }

@@ -254,7 +254,11 @@ impl NetworkSimulator {
             // Which antennas may transmit given what is already on the air?
             let available: Vec<usize> = match self.config.mac {
                 MacKind::Midas => (0..ap.num_antennas())
-                    .filter(|&k| !self.graph.senses_any(&ap.antennas[k], &active_antenna_positions))
+                    .filter(|&k| {
+                        !self
+                            .graph
+                            .senses_any(&ap.antennas[k], &active_antenna_positions)
+                    })
                     .collect(),
                 MacKind::Cas => {
                     let busy = ap

@@ -134,8 +134,16 @@ mod tests {
         for seed in 0..10 {
             let p = pair(100 + seed);
             let r = spatial_reuse_trial(&p, &env, &mut rng);
-            assert!(r.cas_streams >= 4 && r.cas_streams <= 12, "CAS {}", r.cas_streams);
-            assert!(r.das_streams >= 1 && r.das_streams <= 12, "DAS {}", r.das_streams);
+            assert!(
+                r.cas_streams >= 4 && r.cas_streams <= 12,
+                "CAS {}",
+                r.cas_streams
+            );
+            assert!(
+                r.das_streams >= 1 && r.das_streams <= 12,
+                "DAS {}",
+                r.das_streams
+            );
             assert!(r.ratio() > 0.0);
         }
     }

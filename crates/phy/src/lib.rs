@@ -36,8 +36,8 @@ pub mod sounding;
 
 pub use capacity::{shannon_capacity_bps_hz, sum_capacity};
 pub use precoder::{
-    NaiveScaledPrecoder, OptimalPrecoder, PowerBalancedPrecoder, Precoder, PrecoderKind,
-    Precoding, ZfbfPrecoder,
+    NaiveScaledPrecoder, OptimalPrecoder, PowerBalancedPrecoder, Precoder, PrecoderKind, Precoding,
+    ZfbfPrecoder,
 };
 pub use sinr::SinrMatrix;
 pub use sounding::{SoundingConfig, SoundingProcess};

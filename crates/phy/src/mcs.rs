@@ -25,15 +25,69 @@ pub struct McsEntry {
 
 /// The VHT MCS table (20 MHz, one spatial stream, long GI).
 pub const VHT_MCS_TABLE: [McsEntry; 9] = [
-    McsEntry { index: 0, modulation: "BPSK", coding_rate: 0.5, rate_mbps: 6.5, min_sinr_db: 2.0 },
-    McsEntry { index: 1, modulation: "QPSK", coding_rate: 0.5, rate_mbps: 13.0, min_sinr_db: 5.0 },
-    McsEntry { index: 2, modulation: "QPSK", coding_rate: 0.75, rate_mbps: 19.5, min_sinr_db: 9.0 },
-    McsEntry { index: 3, modulation: "16-QAM", coding_rate: 0.5, rate_mbps: 26.0, min_sinr_db: 11.0 },
-    McsEntry { index: 4, modulation: "16-QAM", coding_rate: 0.75, rate_mbps: 39.0, min_sinr_db: 15.0 },
-    McsEntry { index: 5, modulation: "64-QAM", coding_rate: 2.0 / 3.0, rate_mbps: 52.0, min_sinr_db: 18.0 },
-    McsEntry { index: 6, modulation: "64-QAM", coding_rate: 0.75, rate_mbps: 58.5, min_sinr_db: 20.0 },
-    McsEntry { index: 7, modulation: "64-QAM", coding_rate: 5.0 / 6.0, rate_mbps: 65.0, min_sinr_db: 25.0 },
-    McsEntry { index: 8, modulation: "256-QAM", coding_rate: 0.75, rate_mbps: 78.0, min_sinr_db: 29.0 },
+    McsEntry {
+        index: 0,
+        modulation: "BPSK",
+        coding_rate: 0.5,
+        rate_mbps: 6.5,
+        min_sinr_db: 2.0,
+    },
+    McsEntry {
+        index: 1,
+        modulation: "QPSK",
+        coding_rate: 0.5,
+        rate_mbps: 13.0,
+        min_sinr_db: 5.0,
+    },
+    McsEntry {
+        index: 2,
+        modulation: "QPSK",
+        coding_rate: 0.75,
+        rate_mbps: 19.5,
+        min_sinr_db: 9.0,
+    },
+    McsEntry {
+        index: 3,
+        modulation: "16-QAM",
+        coding_rate: 0.5,
+        rate_mbps: 26.0,
+        min_sinr_db: 11.0,
+    },
+    McsEntry {
+        index: 4,
+        modulation: "16-QAM",
+        coding_rate: 0.75,
+        rate_mbps: 39.0,
+        min_sinr_db: 15.0,
+    },
+    McsEntry {
+        index: 5,
+        modulation: "64-QAM",
+        coding_rate: 2.0 / 3.0,
+        rate_mbps: 52.0,
+        min_sinr_db: 18.0,
+    },
+    McsEntry {
+        index: 6,
+        modulation: "64-QAM",
+        coding_rate: 0.75,
+        rate_mbps: 58.5,
+        min_sinr_db: 20.0,
+    },
+    McsEntry {
+        index: 7,
+        modulation: "64-QAM",
+        coding_rate: 5.0 / 6.0,
+        rate_mbps: 65.0,
+        min_sinr_db: 25.0,
+    },
+    McsEntry {
+        index: 8,
+        modulation: "256-QAM",
+        coding_rate: 0.75,
+        rate_mbps: 78.0,
+        min_sinr_db: 29.0,
+    },
 ];
 
 /// Highest MCS sustainable at the given SINR, or `None` when even MCS 0 cannot

@@ -100,10 +100,7 @@ mod tests {
 
     #[test]
     fn utilisation_is_one_when_all_antennas_at_limit() {
-        let v = CMat::from_rows(&[
-            vec![Complex::new(1.0, 0.0)],
-            vec![Complex::new(0.0, 1.0)],
-        ]);
+        let v = CMat::from_rows(&[vec![Complex::new(1.0, 0.0)], vec![Complex::new(0.0, 1.0)]]);
         assert!((power_utilisation(&v, 1.0) - 1.0).abs() < 1e-12);
         // Half-power rows -> 50% utilisation.
         let half = v.scale_re(std::f64::consts::FRAC_1_SQRT_2);

@@ -128,7 +128,12 @@ pub(crate) mod test_support {
     use midas_channel::{ChannelMatrix, ChannelModel, DeploymentKind, Environment, SimRng};
 
     /// Generates a random channel realisation for the given deployment kind.
-    pub fn channel(kind: DeploymentKind, antennas: usize, clients: usize, seed: u64) -> ChannelMatrix {
+    pub fn channel(
+        kind: DeploymentKind,
+        antennas: usize,
+        clients: usize,
+        seed: u64,
+    ) -> ChannelMatrix {
         let mut rng = SimRng::new(seed);
         let cfg = TopologyConfig {
             kind,

@@ -23,7 +23,10 @@ impl Precoder for NaiveScaledPrecoder {
     }
 
     fn precode(&self, h: &CMat, per_antenna_power: f64, noise: f64) -> Precoding {
-        assert!(per_antenna_power > 0.0, "per-antenna power must be positive");
+        assert!(
+            per_antenna_power > 0.0,
+            "per-antenna power must be positive"
+        );
         let num_antennas = h.cols();
         let num_streams = h.rows();
         let mut v = zfbf_directions(h);

@@ -71,7 +71,11 @@ impl Precoder for OptimalPrecoder {
             .map(|j| eff.get(j, j).norm_sqr() / noise)
             .collect();
         let a: Vec<Vec<f64>> = (0..num_antennas)
-            .map(|k| (0..num_streams).map(|j| dirs.get(k, j).norm_sqr()).collect())
+            .map(|k| {
+                (0..num_streams)
+                    .map(|j| dirs.get(k, j).norm_sqr())
+                    .collect()
+            })
             .collect();
 
         // Dual ascent on the antenna multipliers lambda_k >= 0.
@@ -107,7 +111,8 @@ impl Precoder for OptimalPrecoder {
                 worst_ratio = worst_ratio.max(used / per_antenna_power);
                 // Dual subgradient step.
                 let step = self.initial_step / ((t + 1) as f64).sqrt() / per_antenna_power;
-                lambda[k] = (lambda[k] + step * (used - per_antenna_power) / per_antenna_power).max(0.0);
+                lambda[k] =
+                    (lambda[k] + step * (used - per_antenna_power) / per_antenna_power).max(0.0);
             }
             let feasible: Vec<f64> = if worst_ratio > 1.0 {
                 p.iter().map(|&x| x / worst_ratio).collect()
@@ -159,7 +164,8 @@ mod tests {
     fn satisfies_per_antenna_constraint() {
         for seed in 0..10 {
             let ch = channel(DeploymentKind::Das, 4, 4, 100 + seed);
-            let out = OptimalPrecoder::with_iterations(1500).precode(&ch.h, ch.tx_power_mw, ch.noise_mw);
+            let out =
+                OptimalPrecoder::with_iterations(1500).precode(&ch.h, ch.tx_power_mw, ch.noise_mw);
             assert!(
                 power::satisfies_per_antenna(&out.v, ch.tx_power_mw * (1.0 + 1e-6)),
                 "seed {seed}: powers {:?}",
@@ -173,8 +179,13 @@ mod tests {
         for seed in 0..10 {
             for kind in [DeploymentKind::Cas, DeploymentKind::Das] {
                 let ch = channel(kind, 4, 4, 200 + seed);
-                let opt = OptimalPrecoder::with_iterations(1500).precode(&ch.h, ch.tx_power_mw, ch.noise_mw);
-                let pb = PowerBalancedPrecoder::default().precode(&ch.h, ch.tx_power_mw, ch.noise_mw);
+                let opt = OptimalPrecoder::with_iterations(1500).precode(
+                    &ch.h,
+                    ch.tx_power_mw,
+                    ch.noise_mw,
+                );
+                let pb =
+                    PowerBalancedPrecoder::default().precode(&ch.h, ch.tx_power_mw, ch.noise_mw);
                 let nv = NaiveScaledPrecoder.precode(&ch.h, ch.tx_power_mw, ch.noise_mw);
                 assert!(opt.sum_capacity >= pb.sum_capacity - 1e-9, "seed {seed}");
                 assert!(opt.sum_capacity >= nv.sum_capacity - 1e-9, "seed {seed}");
@@ -188,7 +199,8 @@ mod tests {
         // relaxation of the optimal problem, so it upper-bounds the optimum.
         for seed in 0..10 {
             let ch = channel(DeploymentKind::Das, 4, 4, 300 + seed);
-            let opt = OptimalPrecoder::with_iterations(1500).precode(&ch.h, ch.tx_power_mw, ch.noise_mw);
+            let opt =
+                OptimalPrecoder::with_iterations(1500).precode(&ch.h, ch.tx_power_mw, ch.noise_mw);
             let zf = ZfbfPrecoder.precode(&ch.h, ch.tx_power_mw, ch.noise_mw);
             assert!(opt.sum_capacity <= zf.sum_capacity + 1e-6, "seed {seed}");
         }
@@ -202,7 +214,8 @@ mod tests {
         let n = 10;
         for seed in 0..n {
             let ch = channel(DeploymentKind::Das, 4, 4, 400 + seed);
-            let opt = OptimalPrecoder::with_iterations(2000).precode(&ch.h, ch.tx_power_mw, ch.noise_mw);
+            let opt =
+                OptimalPrecoder::with_iterations(2000).precode(&ch.h, ch.tx_power_mw, ch.noise_mw);
             let pb = PowerBalancedPrecoder::default().precode(&ch.h, ch.tx_power_mw, ch.noise_mw);
             ratio_sum += pb.sum_capacity / opt.sum_capacity;
         }

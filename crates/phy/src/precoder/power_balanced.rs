@@ -136,7 +136,10 @@ impl Precoder for PowerBalancedPrecoder {
     }
 
     fn precode(&self, h: &CMat, per_antenna_power: f64, noise: f64) -> Precoding {
-        assert!(per_antenna_power > 0.0, "per-antenna power must be positive");
+        assert!(
+            per_antenna_power > 0.0,
+            "per-antenna power must be positive"
+        );
         assert!(noise > 0.0, "noise power must be positive");
         let num_antennas = h.cols();
         let num_streams = h.rows();
@@ -195,7 +198,8 @@ mod tests {
         for seed in 0..25 {
             for kind in [DeploymentKind::Cas, DeploymentKind::Das] {
                 let ch = channel(kind, 4, 4, 1000 + seed);
-                let out = PowerBalancedPrecoder::default().precode(&ch.h, ch.tx_power_mw, ch.noise_mw);
+                let out =
+                    PowerBalancedPrecoder::default().precode(&ch.h, ch.tx_power_mw, ch.noise_mw);
                 assert!(
                     power::satisfies_per_antenna(&out.v, ch.tx_power_mw),
                     "seed {seed} {kind:?}: per-antenna powers {:?} exceed {}",
@@ -224,7 +228,8 @@ mod tests {
         for seed in 0..25 {
             for kind in [DeploymentKind::Cas, DeploymentKind::Das] {
                 let ch = channel(kind, 4, 4, 3000 + seed);
-                let pb = PowerBalancedPrecoder::default().precode(&ch.h, ch.tx_power_mw, ch.noise_mw);
+                let pb =
+                    PowerBalancedPrecoder::default().precode(&ch.h, ch.tx_power_mw, ch.noise_mw);
                 let nv = NaiveScaledPrecoder.precode(&ch.h, ch.tx_power_mw, ch.noise_mw);
                 assert!(
                     pb.sum_capacity >= nv.sum_capacity - 1e-6,

@@ -36,7 +36,10 @@ impl Precoder for ZfbfPrecoder {
     }
 
     fn precode(&self, h: &CMat, per_antenna_power: f64, noise: f64) -> Precoding {
-        assert!(per_antenna_power > 0.0, "per-antenna power must be positive");
+        assert!(
+            per_antenna_power > 0.0,
+            "per-antenna power must be positive"
+        );
         let num_antennas = h.cols();
         let num_streams = h.rows();
         let mut v = zfbf_directions(h);
@@ -116,8 +119,12 @@ mod tests {
         for seed in 0..20 {
             let das = channel(DeploymentKind::Das, 4, 4, 100 + seed);
             let cas = channel(DeploymentKind::Cas, 4, 4, 100 + seed);
-            let vd = ZfbfPrecoder.precode(&das.h, das.tx_power_mw, das.noise_mw).v;
-            let vc = ZfbfPrecoder.precode(&cas.h, cas.tx_power_mw, cas.noise_mw).v;
+            let vd = ZfbfPrecoder
+                .precode(&das.h, das.tx_power_mw, das.noise_mw)
+                .v;
+            let vc = ZfbfPrecoder
+                .precode(&cas.h, cas.tx_power_mw, cas.noise_mw)
+                .v;
             let worst = |v: &CMat, p: f64| {
                 power::per_antenna_powers(v)
                     .into_iter()

@@ -122,9 +122,21 @@ mod tests {
 
     fn test_channel() -> CMat {
         CMat::from_rows(&[
-            vec![Complex::new(0.9, 0.1), Complex::new(0.2, -0.4), Complex::new(0.05, 0.3)],
-            vec![Complex::new(-0.3, 0.6), Complex::new(1.1, 0.0), Complex::new(0.4, 0.2)],
-            vec![Complex::new(0.1, -0.2), Complex::new(0.3, 0.5), Complex::new(0.8, -0.6)],
+            vec![
+                Complex::new(0.9, 0.1),
+                Complex::new(0.2, -0.4),
+                Complex::new(0.05, 0.3),
+            ],
+            vec![
+                Complex::new(-0.3, 0.6),
+                Complex::new(1.1, 0.0),
+                Complex::new(0.4, 0.2),
+            ],
+            vec![
+                Complex::new(0.1, -0.2),
+                Complex::new(0.3, 0.5),
+                Complex::new(0.8, -0.6),
+            ],
         ])
     }
 
@@ -133,7 +145,11 @@ mod tests {
         let h = test_channel();
         let v = pinv::pseudo_inverse(&h, 1e-12);
         let s = SinrMatrix::compute(&h, &v, 0.01);
-        assert!(s.max_interference() < 1e-12, "interference {}", s.max_interference());
+        assert!(
+            s.max_interference() < 1e-12,
+            "interference {}",
+            s.max_interference()
+        );
         for j in 0..3 {
             assert!(s.signal(j) > 0.0);
             // With zero interference the SINR equals the SNR.

@@ -13,9 +13,7 @@ use midas_channel::topology::{single_ap, TopologyConfig};
 use midas_channel::{ChannelMatrix, ChannelModel, DeploymentKind, Environment, SimRng};
 use midas_linalg::{CMat, Complex};
 use midas_phy::power::{self, POWER_TOLERANCE};
-use midas_phy::precoder::{
-    NaiveScaledPrecoder, OptimalPrecoder, PowerBalancedPrecoder, Precoder,
-};
+use midas_phy::precoder::{NaiveScaledPrecoder, OptimalPrecoder, PowerBalancedPrecoder, Precoder};
 
 fn channel(kind: DeploymentKind, antennas: usize, clients: usize, seed: u64) -> ChannelMatrix {
     let mut rng = SimRng::new(seed);
@@ -89,9 +87,15 @@ fn satisfies_per_antenna_handles_the_float_boundary() {
     let ulps_above = f64::from_bits(limit.to_bits() + 4);
     assert!(power::satisfies_per_antenna(&row(ulps_above), limit));
     // Just inside the tolerance band.
-    assert!(power::satisfies_per_antenna(&row(limit * (1.0 + 0.5 * POWER_TOLERANCE)), limit));
+    assert!(power::satisfies_per_antenna(
+        &row(limit * (1.0 + 0.5 * POWER_TOLERANCE)),
+        limit
+    ));
     // Clearly outside the band is a real violation.
-    assert!(!power::satisfies_per_antenna(&row(limit * (1.0 + 1e-6)), limit));
+    assert!(!power::satisfies_per_antenna(
+        &row(limit * (1.0 + 1e-6)),
+        limit
+    ));
     assert!(!power::satisfies_per_antenna(&row(limit * 1.1), limit));
 }
 
@@ -102,7 +106,14 @@ fn satisfies_per_antenna_handles_the_float_boundary() {
 #[test]
 fn violation_predicates_agree_on_the_boundary() {
     let limit = 36.0;
-    for rel in [0.0, 0.25 * POWER_TOLERANCE, POWER_TOLERANCE, 1e-8, 1e-6, 1e-3] {
+    for rel in [
+        0.0,
+        0.25 * POWER_TOLERANCE,
+        POWER_TOLERANCE,
+        1e-8,
+        1e-6,
+        1e-3,
+    ] {
         let p = limit * (1.0 + rel);
         let v = CMat::from_rows(&[vec![Complex::new(p.sqrt(), 0.0)]]);
         let flagged = power::worst_violating_antenna(&v, limit).is_some();

@@ -8,9 +8,7 @@
 
 use midas_linalg::{CMat, Complex};
 use midas_phy::power;
-use midas_phy::precoder::{
-    NaiveScaledPrecoder, PowerBalancedPrecoder, Precoder, ZfbfPrecoder,
-};
+use midas_phy::precoder::{NaiveScaledPrecoder, PowerBalancedPrecoder, Precoder, ZfbfPrecoder};
 use proptest::prelude::*;
 
 /// Channel entries spanning a wide dynamic range (60 dB), which is what makes

@@ -11,12 +11,21 @@ fn main() {
     let ratios = fig12_simultaneous_tx(30, 3);
     let cdf = Cdf::new(&ratios);
     println!("simultaneous transmissions, MIDAS/CAS ratio over 30 topologies:");
-    println!("  median {:.2}, p10 {:.2}, p90 {:.2}", cdf.median(), cdf.quantile(0.1), cdf.quantile(0.9));
+    println!(
+        "  median {:.2}, p10 {:.2}, p90 {:.2}",
+        cdf.median(),
+        cdf.quantile(0.1),
+        cdf.quantile(0.9)
+    );
 
     let e2e = end_to_end_capacity(false, 10, 10, 3);
     let cas = Cdf::new(&e2e.cas);
     let das = Cdf::new(&e2e.das);
     println!("end-to-end 3-AP network capacity:");
     println!("  CAS   median {:.1} bit/s/Hz", cas.median());
-    println!("  MIDAS median {:.1} bit/s/Hz ({:+.0}%)", das.median(), (das.median() / cas.median() - 1.0) * 100.0);
+    println!(
+        "  MIDAS median {:.1} bit/s/Hz ({:+.0}%)",
+        das.median(),
+        (das.median() / cas.median() - 1.0) * 100.0
+    );
 }

@@ -26,6 +26,11 @@ fn main() {
     println!("\nDead-zone check (Office B, 10 random deployments):");
     let dead = midas::experiment::fig13_deadzones(5, 11);
     for (i, d) in dead.iter().enumerate() {
-        println!("  deployment {i}: CAS {:3} dead spots, DAS {:3} ({:.0}% removed)", d.cas_dead, d.das_dead, d.reduction() * 100.0);
+        println!(
+            "  deployment {i}: CAS {:3} dead spots, DAS {:3} ({:.0}% removed)",
+            d.cas_dead,
+            d.das_dead,
+            d.reduction() * 100.0
+        );
     }
 }

@@ -10,7 +10,10 @@ use midas_phy::precoder::make_precoder;
 fn main() {
     let system = SingleApSystem::generate(&SystemConfig::default(), 42);
     let ch = system.das_channel();
-    println!("per-antenna budget: {:.1} mW, noise: {:.2e} mW\n", ch.tx_power_mw, ch.noise_mw);
+    println!(
+        "per-antenna budget: {:.1} mW, noise: {:.2e} mW\n",
+        ch.tx_power_mw, ch.noise_mw
+    );
     for kind in [
         PrecoderKind::Zfbf,
         PrecoderKind::NaiveScaled,

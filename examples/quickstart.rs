@@ -7,7 +7,10 @@ use midas::prelude::*;
 
 fn main() {
     let config = SystemConfig::default();
-    println!("MIDAS quick start: {} antennas, {} clients, {:?}", config.antennas, config.clients, config.environment);
+    println!(
+        "MIDAS quick start: {} antennas, {} clients, {:?}",
+        config.antennas, config.clients, config.environment
+    );
 
     let mut gains = Vec::new();
     for seed in 0..20 {

@@ -11,9 +11,17 @@ use midas_phy::power;
 fn full_pipeline_single_ap_midas_beats_cas_in_median() {
     let config = SystemConfig::default();
     let gains: Vec<f64> = (0..25)
-        .map(|seed| SingleApSystem::generate(&config, 1000 + seed).downlink_comparison().gain())
+        .map(|seed| {
+            SingleApSystem::generate(&config, 1000 + seed)
+                .downlink_comparison()
+                .gain()
+        })
         .collect();
-    assert!(Cdf::new(&gains).median() > 0.2, "median gain {:?}", Cdf::new(&gains).median());
+    assert!(
+        Cdf::new(&gains).median() > 0.2,
+        "median gain {:?}",
+        Cdf::new(&gains).median()
+    );
 }
 
 #[test]
@@ -23,8 +31,14 @@ fn precoding_respects_the_per_antenna_constraint_through_the_public_api() {
         let out = sys.downlink_comparison();
         // Exact budgets: POWER_TOLERANCE inside `satisfies_per_antenna` absorbs
         // the float-boundary rounding (see crates/phy/tests/per_antenna_boundary.rs).
-        assert!(power::satisfies_per_antenna(&out.midas.v, sys.das_channel().tx_power_mw));
-        assert!(power::satisfies_per_antenna(&out.cas.v, sys.cas_channel().tx_power_mw));
+        assert!(power::satisfies_per_antenna(
+            &out.midas.v,
+            sys.das_channel().tx_power_mw
+        ));
+        assert!(power::satisfies_per_antenna(
+            &out.cas.v,
+            sys.cas_channel().tx_power_mw
+        ));
     }
 }
 
@@ -52,7 +66,10 @@ fn deadzone_and_hidden_terminal_runners_show_das_benefit() {
     let dead = experiment::fig13_deadzones(3, 21);
     let cas: usize = dead.iter().map(|d| d.cas_dead).sum();
     let das: usize = dead.iter().map(|d| d.das_dead).sum();
-    assert!(das <= cas, "DAS dead spots {das} should not exceed CAS {cas}");
+    assert!(
+        das <= cas,
+        "DAS dead spots {das} should not exceed CAS {cas}"
+    );
 
     let hidden = experiment::sec534_hidden_terminals(4, 22);
     let cas_h: usize = hidden.iter().map(|h| h.cas_spots).sum();

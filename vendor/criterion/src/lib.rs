@@ -24,12 +24,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id combining a function name and an input parameter.
     pub fn new<S: fmt::Display, P: fmt::Display>(function_name: S, parameter: P) -> Self {
-        BenchmarkId { id: format!("{function_name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
     }
 
     /// An id from a parameter only.
     pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -88,16 +92,42 @@ fn format_time(d: Duration) -> String {
     }
 }
 
-fn run_one<I: ?Sized, F: FnMut(&mut Bencher, &I)>(label: &str, input: &I, mut f: F) {
-    let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO };
+fn run_one<I: ?Sized, F: FnMut(&mut Bencher, &I)>(label: &str, input: &I, mut f: F) -> BenchResult {
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+    };
     f(&mut b, input);
-    println!("bench: {label:<40} {:>12}/iter ({} iters)", format_time(b.mean()), b.iters_done);
+    println!(
+        "bench: {label:<40} {:>12}/iter ({} iters)",
+        format_time(b.mean()),
+        b.iters_done
+    );
+    BenchResult {
+        label: label.to_string(),
+        mean_ns: b.mean().as_nanos() as f64,
+        iters: b.iters_done,
+    }
+}
+
+/// Recorded outcome of one benchmark, retrievable via [`Criterion::results`].
+///
+/// Not part of the real criterion API — the MIDAS bench harness uses it to
+/// feed timing tables into its figure sinks.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full label, e.g. `precoder/zfbf/4`.
+    pub label: String,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Iterations measured.
+    pub iters: u64,
 }
 
 /// A named group of related benchmarks.
 pub struct BenchmarkGroup<'c> {
     name: String,
-    _criterion: &'c mut Criterion,
+    criterion: &'c mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -106,7 +136,8 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&format!("{}/{id}", self.name), input, f);
+        let result = run_one(&format!("{}/{id}", self.name), input, f);
+        self.criterion.results.push(result);
         self
     }
 
@@ -115,7 +146,8 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&format!("{}/{id}", self.name), &(), |b, _| f(b));
+        let result = run_one(&format!("{}/{id}", self.name), &(), |b, _| f(b));
+        self.criterion.results.push(result);
         self
     }
 
@@ -136,12 +168,17 @@ impl BenchmarkGroup<'_> {
 
 /// Entry point handed to every benchmark function.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
 
 impl Criterion {
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), _criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
     }
 
     /// Benchmark a standalone closure.
@@ -149,8 +186,15 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&id.to_string(), &(), |b, _| f(b));
+        let result = run_one(&id.to_string(), &(), |b, _| f(b));
+        self.results.push(result);
         self
+    }
+
+    /// Every benchmark outcome recorded so far, in execution order (a MIDAS
+    /// harness extension; not present in the real criterion API).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 }
 

@@ -27,7 +27,10 @@ pub mod test_runner {
     impl ProptestConfig {
         /// Config running `cases` successful cases per property.
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases, max_global_rejects: cases.saturating_mul(64).max(1024) }
+            ProptestConfig {
+                cases,
+                max_global_rejects: cases.saturating_mul(64).max(1024),
+            }
         }
     }
 
@@ -55,7 +58,9 @@ pub mod test_runner {
     impl TestRng {
         /// A generator seeded with `seed` (any value, including 0, is fine).
         pub fn new(seed: u64) -> Self {
-            TestRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+            TestRng {
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
         }
 
         /// Next raw 64-bit draw (SplitMix64).
@@ -136,7 +141,11 @@ pub mod strategy {
             Self: Sized,
             F: Fn(&Self::Value) -> bool,
         {
-            Filter { base: self, whence, f }
+            Filter {
+                base: self,
+                whence,
+                f,
+            }
         }
     }
 
@@ -365,7 +374,9 @@ pub mod arbitrary {
 
     /// The canonical strategy for `T`, e.g. `any::<bool>()`.
     pub fn any<T: Arbitrary>() -> Any<T> {
-        Any { _marker: std::marker::PhantomData }
+        Any {
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -385,7 +396,9 @@ pub mod collection {
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
-            (0..self.count).map(|_| self.element.generate(rng)).collect()
+            (0..self.count)
+                .map(|_| self.element.generate(rng))
+                .collect()
         }
     }
 
@@ -499,7 +512,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             lhs != rhs,
             "assertion failed: {} != {} (both {:?})",
-            stringify!($lhs), stringify!($rhs), lhs
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs
         );
     }};
 }
