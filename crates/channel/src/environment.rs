@@ -142,6 +142,23 @@ impl Environment {
         self.path_loss.distance_for_loss_db(budget_db)
     }
 
+    /// Radio interaction range: the distance beyond which a transmitter is
+    /// irrelevant to a receiver even for *aggregate* energy detection —
+    /// where the mean path loss eats the whole link budget down to the
+    /// carrier-sense threshold **plus** `margin_db` of headroom for
+    /// shadowing upswings and multi-transmitter aggregation.
+    ///
+    /// This is the cell-size / cutoff key of the enterprise-scale spatial
+    /// index (`midas_net::scale`): links longer than this are treated as
+    /// below the receiver sensitivity floor and contribute nothing to
+    /// sensing or interference.  With the default margin the cutoff sits
+    /// ≈ 30 dB below the carrier-sense threshold, i.e. more than 15 dB
+    /// under the thermal noise floor of every preset.
+    pub fn interaction_range_m(&self, margin_db: f64) -> f64 {
+        let budget_db = self.tx_power_dbm + margin_db - self.carrier_sense_dbm;
+        self.path_loss.distance_for_loss_db(budget_db)
+    }
+
     /// Carrier-sense range of an `n`-antenna co-located (CAS) MU-MIMO
     /// transmission: energy detection sees the sum of all antennas' power, so
     /// the detectable range grows by `10 log10(n)` dB of link budget.
@@ -231,6 +248,27 @@ mod tests {
                 "{:?}",
                 env.kind
             );
+        }
+    }
+
+    #[test]
+    fn interaction_range_exceeds_every_sensing_and_coverage_range() {
+        for env in [
+            Environment::office_a(),
+            Environment::office_b(),
+            Environment::open_plan(),
+        ] {
+            let cutoff = env.interaction_range_m(30.0);
+            assert!(cutoff > env.coverage_range_m(), "{:?}", env.kind);
+            assert!(
+                cutoff > env.array_carrier_sense_range_m(4),
+                "{:?}",
+                env.kind
+            );
+            // Still indoor scale: the cutoff is what bounds the spatial
+            // index's neighbourhood size, so it must not degenerate to the
+            // bisection bracket.
+            assert!(cutoff < 200.0, "{:?} cutoff {cutoff} m", env.kind);
         }
     }
 

@@ -163,7 +163,119 @@ impl Default for TopologyConfig {
     }
 }
 
+/// A [`TopologyConfig`] that would silently generate degenerate placements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyConfigError {
+    /// `antennas_per_ap` is zero.
+    NoAntennas,
+    /// A placement radius (DAS annulus or client-association disc) is not
+    /// strictly positive.
+    NonPositiveRadius {
+        /// Which radius field was invalid.
+        field: &'static str,
+        /// The offending value, metres.
+        value: f64,
+    },
+    /// `das_radius_min_m` exceeds `das_radius_max_m`.
+    InvertedRadiusBand {
+        /// Configured minimum radius, metres.
+        min_m: f64,
+        /// Configured maximum radius, metres.
+        max_m: f64,
+    },
+    /// `min_sector_deg` is outside `[0, 360]` (or not finite).
+    SectorOutOfRange {
+        /// The offending value, degrees.
+        value: f64,
+    },
+    /// A spacing/clearance constraint is negative (or not finite).
+    NegativeSpacing {
+        /// Which spacing field was invalid.
+        field: &'static str,
+        /// The offending value, metres.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for TopologyConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyConfigError::NoAntennas => {
+                write!(f, "antennas_per_ap must be at least 1")
+            }
+            TopologyConfigError::NonPositiveRadius { field, value } => {
+                write!(f, "{field} must be strictly positive, got {value} m")
+            }
+            TopologyConfigError::InvertedRadiusBand { min_m, max_m } => {
+                write!(
+                    f,
+                    "das_radius_min_m ({min_m} m) exceeds das_radius_max_m ({max_m} m); \
+                     the DAS placement annulus is empty"
+                )
+            }
+            TopologyConfigError::SectorOutOfRange { value } => {
+                write!(f, "min_sector_deg must lie in [0, 360], got {value}")
+            }
+            TopologyConfigError::NegativeSpacing { field, value } => {
+                write!(f, "{field} must be non-negative, got {value} m")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyConfigError {}
+
 impl TopologyConfig {
+    /// Checks the configuration for values that would silently produce
+    /// degenerate placements (empty DAS annulus, impossible sector
+    /// constraint, negative clearances).
+    ///
+    /// The generation functions ([`place_antennas`], [`place_clients`],
+    /// [`multi_ap`]) call this and panic with the descriptive error, so a
+    /// contradictory config fails loudly at the first use instead of
+    /// spinning the rejection samplers into their relaxation fallback.
+    pub fn validate(&self) -> Result<(), TopologyConfigError> {
+        if self.antennas_per_ap == 0 {
+            return Err(TopologyConfigError::NoAntennas);
+        }
+        if self.kind == DeploymentKind::Das {
+            for (field, value) in [
+                ("das_radius_min_m", self.das_radius_min_m),
+                ("das_radius_max_m", self.das_radius_max_m),
+            ] {
+                if value.is_nan() || value <= 0.0 {
+                    return Err(TopologyConfigError::NonPositiveRadius { field, value });
+                }
+            }
+            if self.das_radius_min_m > self.das_radius_max_m {
+                return Err(TopologyConfigError::InvertedRadiusBand {
+                    min_m: self.das_radius_min_m,
+                    max_m: self.das_radius_max_m,
+                });
+            }
+        }
+        if !(0.0..=360.0).contains(&self.min_sector_deg) {
+            return Err(TopologyConfigError::SectorOutOfRange {
+                value: self.min_sector_deg,
+            });
+        }
+        for (field, value) in [
+            ("min_antenna_separation_m", self.min_antenna_separation_m),
+            ("min_client_antenna_m", self.min_client_antenna_m),
+        ] {
+            if value.is_nan() || value < 0.0 {
+                return Err(TopologyConfigError::NegativeSpacing { field, value });
+            }
+        }
+        if self.max_client_ap_m.is_nan() || self.max_client_ap_m <= 0.0 {
+            return Err(TopologyConfigError::NonPositiveRadius {
+                field: "max_client_ap_m",
+                value: self.max_client_ap_m,
+            });
+        }
+        Ok(())
+    }
+
     /// Convenience constructor for a CAS configuration with the same client
     /// parameters.
     pub fn cas(antennas_per_ap: usize, clients_per_ap: usize) -> Self {
@@ -198,6 +310,9 @@ pub fn place_antennas(
     region: &Rect,
     rng: &mut SimRng,
 ) -> Vec<Point> {
+    if let Err(e) = config.validate() {
+        panic!("invalid TopologyConfig: {e}");
+    }
     match config.kind {
         DeploymentKind::Cas => {
             let spacing = wavelength_m() / 2.0;
@@ -244,6 +359,9 @@ pub fn place_clients(
     rng: &mut SimRng,
     first_client_id: usize,
 ) -> Vec<Client> {
+    if let Err(e) = config.validate() {
+        panic!("invalid TopologyConfig: {e}");
+    }
     let mut clients = Vec::with_capacity(config.clients_per_ap);
     let mut attempts = 0usize;
     while clients.len() < config.clients_per_ap {
@@ -543,6 +661,93 @@ mod tests {
                 .count();
             assert!(overheard <= 3, "AP {i} overhears {overheard} APs");
         }
+    }
+
+    #[test]
+    fn validate_accepts_the_stock_configs() {
+        for cfg in [
+            TopologyConfig::default(),
+            TopologyConfig::cas(4, 4),
+            TopologyConfig::das(2, 6),
+        ] {
+            assert_eq!(cfg.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs_with_descriptive_errors() {
+        let das = TopologyConfig::das(4, 4);
+        let cases = [
+            TopologyConfig {
+                antennas_per_ap: 0,
+                ..das
+            },
+            TopologyConfig {
+                das_radius_min_m: 0.0,
+                ..das
+            },
+            TopologyConfig {
+                das_radius_max_m: -3.0,
+                ..das
+            },
+            TopologyConfig {
+                das_radius_min_m: 12.0,
+                das_radius_max_m: 5.0,
+                ..das
+            },
+            TopologyConfig {
+                min_sector_deg: 400.0,
+                ..das
+            },
+            TopologyConfig {
+                min_sector_deg: -1.0,
+                ..das
+            },
+            TopologyConfig {
+                min_antenna_separation_m: -0.5,
+                ..das
+            },
+            TopologyConfig {
+                min_client_antenna_m: f64::NAN,
+                ..das
+            },
+            TopologyConfig {
+                max_client_ap_m: 0.0,
+                ..das
+            },
+        ];
+        for cfg in cases {
+            let err = cfg.validate().expect_err("config should be rejected");
+            assert!(!err.to_string().is_empty());
+        }
+        // CAS deployments ignore the DAS radius band entirely.
+        let cas = TopologyConfig {
+            das_radius_min_m: -1.0,
+            ..TopologyConfig::cas(4, 4)
+        };
+        assert_eq!(cas.validate(), Ok(()));
+    }
+
+    #[test]
+    fn generators_panic_with_the_descriptive_error() {
+        let cfg = TopologyConfig {
+            das_radius_min_m: 12.0,
+            das_radius_max_m: 5.0,
+            ..TopologyConfig::das(4, 4)
+        };
+        let result = std::panic::catch_unwind(|| {
+            let mut rng = SimRng::new(1);
+            place_antennas(Point::new(20.0, 20.0), &cfg, &region(), &mut rng)
+        });
+        let payload = result.expect_err("placement should panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("das_radius_min_m") && msg.contains("annulus"),
+            "panic message not descriptive: {msg}"
+        );
     }
 
     #[test]

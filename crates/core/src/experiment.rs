@@ -17,10 +17,13 @@ use midas_channel::{ChannelModel, Environment, EnvironmentKind, SimRng};
 use midas_mac::client_select::{select_clients_midas, select_clients_random};
 use midas_mac::drr::DrrScheduler;
 use midas_mac::tagging::TagTable;
+use midas_net::contention::ContentionGraph;
 use midas_net::coverage::{compare_deadzones, DeadzoneComparison};
 use midas_net::deployment::{paper_das_config, PairedTopology};
 use midas_net::hidden_terminal::{HiddenTerminalComparison, HiddenTerminalScenario};
-use midas_net::simulator::{NetworkSimConfig, NetworkSimulator};
+use midas_net::scale::scenario::INTERACTION_MARGIN_DB;
+use midas_net::scale::Scenario;
+use midas_net::simulator::{MacKind, NetworkSimConfig, NetworkSimulator};
 use midas_net::spatial_reuse::spatial_reuse_trial;
 use midas_phy::precoder::{
     make_precoder, NaiveScaledPrecoder, OptimalPrecoder, PowerBalancedPrecoder, Precoder,
@@ -368,6 +371,85 @@ pub fn end_to_end_capacity(
     }))
 }
 
+/// Per-topology series of one enterprise-scale scenario at one AP count.
+#[derive(Debug, Clone, Default)]
+pub struct EnterpriseScalingSeries {
+    /// CAS mean network capacity per topology (bit/s/Hz).
+    pub cas: Vec<f64>,
+    /// MIDAS mean network capacity per topology (bit/s/Hz).
+    pub das: Vec<f64>,
+    /// CAS mean concurrent streams per round, per topology.
+    pub cas_streams: Vec<f64>,
+    /// MIDAS mean concurrent streams per round, per topology.
+    pub das_streams: Vec<f64>,
+    /// MIDAS per-AP mean capacity (bit/s/Hz), concatenated across
+    /// topologies — the per-AP diagnostic behind the Fig. 16 calibration
+    /// work (starved vs interference-drowned APs).
+    pub das_per_ap_capacity: Vec<f64>,
+    /// MIDAS per-AP duty cycle (fraction of rounds transmitting),
+    /// concatenated across topologies.
+    pub das_per_ap_duty: Vec<f64>,
+    /// Mean contention degree of the DAS deployment per topology: how many
+    /// other APs each AP shares a carrier-sense domain with (range-limited
+    /// indexed adjacency) — the structural explanation for duty-cycle
+    /// collapse on over-dense floors.
+    pub das_contention_degree: Vec<f64>,
+}
+
+/// Enterprise scaling — the beyond-Fig.-16 experiment: end-to-end CAS vs
+/// MIDAS capacity of a named [`Scenario`] (`midas_net::scale`) over random
+/// floor realisations at the given AP count.  Runs with the finite
+/// interaction range that activates the spatial-index scan truncation, which
+/// is what keeps 64-AP / 512-client floors tractable.
+pub fn enterprise_scaling(
+    scenario: &Scenario,
+    topologies: usize,
+    rounds: usize,
+    seed: u64,
+) -> EnterpriseScalingSeries {
+    let sweep = SeedSweep::new(seed).with_mix(1021, 101);
+    let rows = sweep.run(topologies, &|_t: usize, s: u64| {
+        let pair = scenario
+            .build(s)
+            .unwrap_or_else(|e| panic!("scenario {} failed to build: {e}", scenario.name()));
+        let env = scenario.environment();
+        // Structural diagnostic: range-limited AP contention degree of the
+        // DAS deployment (same frozen shadowing field as the simulator).
+        let graph = ContentionGraph::new(env, s ^ 0x5151);
+        let adjacency =
+            graph.ap_adjacency_indexed(&pair.das, env.interaction_range_m(INTERACTION_MARGIN_DB));
+        let degree = adjacency
+            .iter()
+            .map(|row| row.iter().filter(|&&x| x).count())
+            .sum::<usize>() as f64
+            / adjacency.len().max(1) as f64;
+        let cas =
+            NetworkSimulator::new(pair.cas, scenario.sim_config(MacKind::Cas, rounds, s)).run();
+        let das =
+            NetworkSimulator::new(pair.das, scenario.sim_config(MacKind::Midas, rounds, s)).run();
+        (
+            cas.mean_capacity(),
+            das.mean_capacity(),
+            cas.mean_streams(),
+            das.mean_streams(),
+            das.per_ap_mean_capacity(),
+            das.per_ap_duty_cycle(),
+            degree,
+        )
+    });
+    let mut out = EnterpriseScalingSeries::default();
+    for (cas, das, cas_streams, das_streams, per_ap_cap, per_ap_duty, degree) in rows {
+        out.cas.push(cas);
+        out.das.push(das);
+        out.cas_streams.push(cas_streams);
+        out.das_streams.push(das_streams);
+        out.das_per_ap_capacity.extend(per_ap_cap);
+        out.das_per_ap_duty.extend(per_ap_duty);
+        out.das_contention_degree.push(degree);
+    }
+    out
+}
+
 /// Ablation — tag-width sweep (§3.2.4 discusses 1, 2 and "all" antennas per
 /// client): mean end-to-end capacity of the 3-AP MIDAS network per tag width.
 pub fn ablation_tag_width(widths: &[usize], topologies: usize, seed: u64) -> Vec<(usize, f64)> {
@@ -527,6 +609,23 @@ mod tests {
         let das: f64 = s.das.iter().sum();
         let cas: f64 = s.cas.iter().sum();
         assert!(das > cas, "MIDAS {das:.1} vs CAS {cas:.1}");
+    }
+
+    #[test]
+    fn enterprise_scaling_produces_full_series_at_small_scale() {
+        let scenario = Scenario::enterprise_office(8);
+        let s = enterprise_scaling(&scenario, 2, 4, 42);
+        assert_eq!(s.cas.len(), 2);
+        assert_eq!(s.das.len(), 2);
+        assert_eq!(s.das_per_ap_capacity.len(), 2 * 8);
+        assert_eq!(s.das_per_ap_duty.len(), 2 * 8);
+        assert!(s.das.iter().all(|c| c.is_finite() && *c > 0.0));
+        assert!(s.das_per_ap_duty.iter().all(|d| (0.0..=1.0).contains(d)));
+        assert_eq!(s.das_contention_degree.len(), 2);
+        assert!(s
+            .das_contention_degree
+            .iter()
+            .all(|d| (0.0..=7.0).contains(d)));
     }
 
     #[test]

@@ -16,15 +16,20 @@ fn median(samples: &[f64]) -> f64 {
     Cdf::new(samples).median()
 }
 
-// Golden medians at the seeds the unit tests use, captured from the serial
-// pre-engine runners (and, for the per-trial-RNG runners, at the engine's
-// introduction).  Exact equality: the engine guarantees bit-identical series.
+// Golden medians at the seeds the unit tests use.  Originally captured from
+// the serial pre-engine runners (and, for the per-trial-RNG runners, at the
+// engine's introduction); the precoder-dependent values were re-pinned when
+// `zfbf_directions` switched from the SVD pseudoinverse to the QR route
+// (same pseudoinverse to ~1e-10, different last-ulp rounding) — the
+// topology/contention-only runners (figs. 7, 12, 13, §5.3.4) kept their
+// original values, pinning that the spatial-index scan rewrite is exact.
+// Exact equality: the engine guarantees bit-identical series.
 
 #[test]
 fn fig03_golden_medians() {
     let s = fig03_naive_scaling_drop(15, 1);
-    assert_eq!(median(&s.cas), 2.246173875551124);
-    assert_eq!(median(&s.das), 4.743334572147057);
+    assert_eq!(median(&s.cas), 2.2461738755511247);
+    assert_eq!(median(&s.das), 4.743334572147058);
 }
 
 #[test]
@@ -37,27 +42,27 @@ fn fig07_golden_medians() {
 #[test]
 fn fig08_09_golden_medians() {
     let s = fig08_09_capacity(EnvironmentKind::OfficeA, 4, 12, 3);
-    assert_eq!(median(&s.cas), 16.821446945959003);
-    assert_eq!(median(&s.das), 24.414304691170663);
+    assert_eq!(median(&s.cas), 16.821446945959018);
+    assert_eq!(median(&s.das), 24.414304691170656);
 }
 
 #[test]
 fn fig10_golden_medians() {
     let s = fig10_smart_precoding(15, 4);
-    assert_eq!(median(&s.cas_naive), 10.659644196843496);
+    assert_eq!(median(&s.cas_naive), 10.659644196843498);
     assert_eq!(median(&s.cas_smart), 10.869870637224388);
     assert_eq!(median(&s.das_naive), 28.714182421525102);
-    assert_eq!(median(&s.das_smart), 29.404845701089307);
+    assert_eq!(median(&s.das_smart), 29.4048457010893);
 }
 
 #[test]
 fn fig11_golden_medians() {
     let fresh = fig11_optimal_comparison(8, false, 5);
-    assert_eq!(median(&fresh.cas), 20.278352869423454);
-    assert_eq!(median(&fresh.das), 20.278352869423454);
+    assert_eq!(median(&fresh.cas), 20.278352869423458);
+    assert_eq!(median(&fresh.das), 20.278352869423458);
     let stale = fig11_optimal_comparison(4, true, 5);
-    assert_eq!(median(&stale.cas), 2.749407526453317);
-    assert_eq!(median(&stale.das), 17.576011050143013);
+    assert_eq!(median(&stale.cas), 2.7494075273295033);
+    assert_eq!(median(&stale.das), 17.576011050142867);
 }
 
 #[test]
@@ -86,14 +91,14 @@ fn sec534_golden_median() {
 #[test]
 fn fig14_golden_medians() {
     let s = fig14_packet_tagging(25, 7);
-    assert_eq!(median(&s.cas), 11.20707662194512);
-    assert_eq!(median(&s.das), 12.248552009863502);
+    assert_eq!(median(&s.cas), 11.207076621945118);
+    assert_eq!(median(&s.das), 12.2485520098635);
 }
 
 #[test]
 fn end_to_end_golden_medians() {
     let s = end_to_end_capacity(false, 6, 10, 100);
-    assert_eq!(median(&s.cas), 20.46414268972919);
+    assert_eq!(median(&s.cas), 20.464142689729186);
     assert_eq!(median(&s.das), 20.826458303352467);
 }
 
@@ -101,13 +106,13 @@ fn end_to_end_golden_medians() {
 fn ablation_golden_values() {
     assert_eq!(
         ablation_tag_width(&[1, 2], 1, 9),
-        vec![(1, 18.570308758760063), (2, 15.66612680472162)]
+        vec![(1, 18.570308758760063), (2, 15.666126804721625)]
     );
     assert_eq!(
         ablation_das_radius(&[(0.2, 0.4), (0.5, 0.75)], 4, 10),
         vec![
             ((0.2, 0.4), 28.81614118545318),
-            ((0.5, 0.75), 24.776149359363842)
+            ((0.5, 0.75), 24.77614935936384)
         ]
     );
     assert_eq!(

@@ -2,15 +2,20 @@
 //!
 //! Zero-forcing beamforming's closed-form solution is the pseudoinverse of the
 //! downlink channel matrix (paper §3.1.1: "the best precoder is the
-//! pseudoinverse of the channel matrix, H†").  Two routes are provided:
+//! pseudoinverse of the channel matrix, H†").  Three routes are provided:
 //!
 //! * [`pseudo_inverse`] — the general, rank-revealing SVD route; works for
-//!   any shape and any rank and is what the precoders use by default.
+//!   any shape and any rank and is the fallback for degenerate inputs.
+//! * [`qr_right_pseudo_inverse`] — Householder-QR route for full-row-rank
+//!   (clients ≤ antennas) channel matrices: `H† = Q R^{-H}` where
+//!   `H^H = QR`.  The diagonal of `R` doubles as the rank check, so the hot
+//!   path never pays for an SVD; this is what the precoders use.
 //! * [`right_pseudo_inverse`] — the classical `H^H (H H^H)^{-1}` formula for
-//!   full-row-rank (clients ≤ antennas) channel matrices; cheaper and used as
-//!   a cross-check in tests.
+//!   full-row-rank channel matrices; used as a cross-check in tests.
 
+use crate::complex::Complex;
 use crate::decompose::lu::LuDecomposition;
+use crate::decompose::qr::QrDecomposition;
 use crate::decompose::svd::Svd;
 use crate::matrix::CMat;
 
@@ -35,6 +40,65 @@ pub fn pseudo_inverse(a: &CMat, tol: f64) -> CMat {
         v_scaled.scale_col(c, inv);
     }
     v_scaled.mul(&svd.u.hermitian())
+}
+
+/// Right pseudoinverse of a full-row-rank matrix (rows ≤ cols) via a
+/// Householder QR of `A^H`, with the QR diagonal serving as the rank check.
+///
+/// With `A^H = Q R` (thin factors, `Q` cols × rows, `R` rows × rows upper
+/// triangular), `A = R^H Q^H` and
+///
+/// ```text
+/// A† = A^H (A A^H)^{-1} = Q R (R^H R)^{-1} = Q R^{-H},
+/// ```
+///
+/// so the pseudoinverse falls out of one QR factorisation plus a triangular
+/// solve — roughly an order of magnitude cheaper than the Jacobi SVD route
+/// for the 4×4/8×8 shapes on the precoding hot path.
+///
+/// The magnitudes of the diagonal entries of `R` are the column norms of the
+/// successively deflated `A^H`, so `min |R_ii| <= tol * max |R_ii|` is a
+/// cheap (pivot-free) proxy for rank deficiency.  Returns `None` in that
+/// case, or when `rows > cols` — callers fall back to the rank-revealing
+/// [`pseudo_inverse`].
+pub fn qr_right_pseudo_inverse(a: &CMat, tol: f64) -> Option<CMat> {
+    let rows = a.rows();
+    let cols = a.cols();
+    if rows > cols || rows == 0 {
+        return None;
+    }
+    let qr = QrDecomposition::new(&a.hermitian());
+    let r = qr.thin_r();
+
+    let mut max_diag = 0.0f64;
+    let mut min_diag = f64::INFINITY;
+    for i in 0..rows {
+        let d = r.get(i, i).norm();
+        max_diag = max_diag.max(d);
+        min_diag = min_diag.min(d);
+    }
+    if max_diag <= 0.0 || min_diag <= tol * max_diag {
+        return None;
+    }
+
+    // X = R^{-H}: solve the lower-triangular system R^H X = I by forward
+    // substitution, one unit-vector right-hand side per column.
+    let mut x = CMat::zeros(rows, rows);
+    for col in 0..rows {
+        for i in 0..rows {
+            let mut acc = if i == col {
+                Complex::ONE
+            } else {
+                Complex::ZERO
+            };
+            for j in 0..i {
+                // (R^H)[i][j] = conj(R[j][i])
+                acc -= r.get(j, i).conj() * x.get(j, col);
+            }
+            x.set(i, col, acc / r.get(i, i).conj());
+        }
+    }
+    Some(qr.thin_q().mul(&x))
 }
 
 /// Right pseudoinverse `A^H (A A^H)^{-1}` for a full-row-rank matrix
@@ -136,6 +200,41 @@ mod tests {
         // 4) (P A)^H = P A
         let pa = p.mul(&a);
         assert!(pa.hermitian().approx_eq(&pa, 1e-7));
+    }
+
+    #[test]
+    fn qr_route_matches_svd_route_for_full_row_rank() {
+        for (rows, cols, seed) in [(2usize, 2usize, 21u64), (3, 5, 22), (4, 4, 23), (4, 6, 24)] {
+            let h = random_like(rows, cols, seed);
+            let qr = qr_right_pseudo_inverse(&h, 1e-10).unwrap();
+            let svd = pseudo_inverse(&h, DEFAULT_EPS);
+            assert!(
+                qr.approx_eq(&svd, 1e-8),
+                "{rows}x{cols} seed {seed}: QR and SVD pseudoinverses disagree"
+            );
+        }
+    }
+
+    #[test]
+    fn qr_route_satisfies_penrose_conditions() {
+        let h = random_like(4, 6, 31);
+        let p = qr_right_pseudo_inverse(&h, 1e-10).unwrap();
+        assert!(h.mul(&p).approx_eq(&CMat::identity(4), 1e-8));
+        assert!(h.mul(&p).mul(&h).approx_eq(&h, 1e-8));
+        assert!(p.mul(&h).mul(&p).approx_eq(&p, 1e-8));
+    }
+
+    #[test]
+    fn qr_route_rejects_rank_deficient_and_tall_matrices() {
+        // Rank-1 wide matrix: the R diagonal collapses and the check trips.
+        let b = random_like(3, 1, 41);
+        let c = random_like(1, 5, 42);
+        let deficient = b.mul(&c);
+        assert!(qr_right_pseudo_inverse(&deficient, 1e-10).is_none());
+        // Tall matrices (rows > cols) are not full row rank by shape.
+        assert!(qr_right_pseudo_inverse(&random_like(5, 3, 43), 1e-10).is_none());
+        // Zero matrix.
+        assert!(qr_right_pseudo_inverse(&CMat::zeros(2, 4), 1e-10).is_none());
     }
 
     #[test]

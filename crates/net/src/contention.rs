@@ -50,14 +50,40 @@ impl ContentionGraph {
     /// Whether a single antenna position senses the *aggregate* energy of the
     /// given active transmitter positions (energy-detection carrier sensing).
     pub fn senses_any(&self, antenna: &Point, active_transmitters: &[Point]) -> bool {
-        if active_transmitters.is_empty() {
-            return false;
+        self.senses_any_within(antenna, active_transmitters, f64::INFINITY)
+    }
+
+    /// Range-limited [`ContentionGraph::senses_any`]: transmitters farther
+    /// than `cutoff_m` are below the receiver sensitivity floor and
+    /// contribute nothing to the energy sum.
+    ///
+    /// With `cutoff_m = f64::INFINITY` this is exactly `senses_any`.  The
+    /// enterprise-scale spatial index (`crate::scale`) feeds this the
+    /// pre-filtered neighbourhood via [`ContentionGraph::senses_aggregate`];
+    /// both paths visit the surviving transmitters in the same order, so the
+    /// floating-point sum — and the decision — is bit-identical.
+    pub fn senses_any_within(&self, antenna: &Point, active: &[Point], cutoff_m: f64) -> bool {
+        self.senses_aggregate(
+            antenna,
+            active.iter().filter(|tx| tx.distance(antenna) <= cutoff_m),
+        )
+    }
+
+    /// Energy-detection decision over an explicit set of transmitters (no
+    /// further filtering); the building block both scan implementations
+    /// share.
+    pub fn senses_aggregate<'a>(
+        &self,
+        antenna: &Point,
+        transmitters: impl IntoIterator<Item = &'a Point>,
+    ) -> bool {
+        let mut total_mw = 0.0;
+        let mut any = false;
+        for tx in transmitters {
+            any = true;
+            total_mw += dbm_to_mw(self.model.large_scale_rx_power_dbm(tx, antenna));
         }
-        let total_mw: f64 = active_transmitters
-            .iter()
-            .map(|tx| dbm_to_mw(self.model.large_scale_rx_power_dbm(tx, antenna)))
-            .sum();
-        mw_to_dbm(total_mw) >= self.threshold_dbm
+        any && mw_to_dbm(total_mw) >= self.threshold_dbm
     }
 
     /// Whether any antenna of AP `a` can sense any antenna of AP `b` in the
@@ -88,6 +114,64 @@ impl ContentionGraph {
                     .collect()
             })
             .collect()
+    }
+
+    /// Range-limited [`ContentionGraph::aps_share_domain`]: antenna pairs
+    /// farther apart than `cutoff_m` are treated as unable to sense each
+    /// other (receiver sensitivity floor).  Reference semantics for
+    /// [`ContentionGraph::ap_adjacency_indexed`].
+    pub fn aps_share_domain_within(
+        &self,
+        topo: &Topology,
+        a: usize,
+        b: usize,
+        cutoff_m: f64,
+    ) -> bool {
+        topo.aps[a].antennas.iter().any(|ta| {
+            topo.aps[b].antennas.iter().any(|tb| {
+                ta.distance(tb) <= cutoff_m && (self.can_sense(ta, tb) || self.can_sense(tb, ta))
+            })
+        })
+    }
+
+    /// Adjacency matrix of the AP contention graph at enterprise scale:
+    /// candidate AP pairs are discovered through a spatial index over every
+    /// antenna position — O(n·k) instead of the all-pairs antenna sweep —
+    /// and links longer than `cutoff_m` (derive it from
+    /// `Environment::interaction_range_m`) are below the sensitivity floor.
+    ///
+    /// Equivalent by construction to running
+    /// [`ContentionGraph::aps_share_domain_within`] over all pairs: the
+    /// index returns a superset of the antennas within `cutoff_m`, and the
+    /// same `distance <= cutoff && can_sense` predicate decides membership
+    /// (see the property test in `tests/proptest_scale.rs`).
+    pub fn ap_adjacency_indexed(&self, topo: &Topology, cutoff_m: f64) -> Vec<Vec<bool>> {
+        let n = topo.aps.len();
+        let mut owner: Vec<usize> = Vec::new();
+        let mut index = crate::scale::index::SpatialIndex::new(topo.region, cutoff_m);
+        for ap in &topo.aps {
+            for &antenna in &ap.antennas {
+                index.insert(antenna);
+                owner.push(ap.ap_id);
+            }
+        }
+        let mut adj = vec![vec![false; n]; n];
+        let points = index.points().to_vec();
+        for (i, ta) in points.iter().enumerate() {
+            let a = owner[i];
+            for j in index.neighbors_within(ta, cutoff_m) {
+                let b = owner[j];
+                if a == b || adj[a][b] {
+                    continue;
+                }
+                let tb = &points[j];
+                if self.can_sense(ta, tb) || self.can_sense(tb, ta) {
+                    adj[a][b] = true;
+                    adj[b][a] = true;
+                }
+            }
+        }
+        adj
     }
 }
 

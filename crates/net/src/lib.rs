@@ -14,6 +14,9 @@
 //! * [`hidden_terminal`] — the hidden-terminal spot analysis of §5.3.4.
 //! * [`simulator`] — round-based end-to-end network simulation combining the
 //!   MIDAS / CAS MACs with the precoders (Figs. 15 and 16).
+//! * [`scale`] — the enterprise-scale subsystem: arbitrary floor grids,
+//!   a uniform-grid spatial index replacing the O(n²) sweeps, pluggable
+//!   client-association policies, and the named scenario library.
 //! * [`metrics`] — CDFs and summary statistics used by every experiment.
 
 #![warn(missing_docs)]
@@ -24,8 +27,10 @@ pub mod coverage;
 pub mod deployment;
 pub mod hidden_terminal;
 pub mod metrics;
+pub mod scale;
 pub mod simulator;
 pub mod spatial_reuse;
 
 pub use metrics::Cdf;
-pub use simulator::{NetworkSimConfig, NetworkSimulator, TopologyResult};
+pub use scale::{AssociationPolicy, FloorGrid, Scenario, SpatialIndex};
+pub use simulator::{NetworkSimConfig, NetworkSimulator, ScanMode, TopologyResult};

@@ -1,0 +1,259 @@
+//! Pluggable client-association policies.
+//!
+//! At the paper's 8-AP scale every client simply belongs to the AP it was
+//! generated around; at enterprise scale *which* AP a client associates with
+//! becomes a real design axis — and with DAS the answer changes, because a
+//! client may sit far from every AP chassis yet right next to one AP's
+//! distributed antenna.  Association uses the **mean** (large-scale,
+//! fading-free) RSSI, the quantity real clients average over beacons; with
+//! the monotone path-loss models of `midas-channel` this is a strictly
+//! decreasing function of distance, so candidate pruning can ride the
+//! spatial index.
+
+use crate::scale::index::SpatialIndex;
+use midas_channel::topology::Topology;
+use midas_channel::{Environment, Point};
+
+/// How clients pick their AP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AssociationPolicy {
+    /// Strongest mean RSSI from the AP **chassis** position — what a
+    /// conventional scan-and-join client does, and all a CAS deployment can
+    /// offer (its antennas sit at the chassis).
+    NearestAp,
+    /// Strongest mean RSSI over every **individual antenna** — the
+    /// DAS-aware policy: a client adopts the AP whose distributed antenna
+    /// is closest, even when that AP's chassis is remote.
+    AntennaAware,
+    /// Antenna-aware with load balancing: among the APs whose best-antenna
+    /// RSSI is within `hysteresis_db` of the strongest, pick the one
+    /// currently serving the fewest clients (ties to the lowest AP id).
+    /// Clients are processed in id order, so the result is deterministic.
+    LoadBalanced {
+        /// RSSI window (dB) within which APs are considered equivalent.
+        hysteresis_db: f64,
+    },
+}
+
+/// Mean RSSI (dBm) of the best antenna of `ap` at `p` under `env` — or of
+/// the chassis itself when `chassis_only`.
+fn best_rssi_dbm(
+    env: &Environment,
+    topo: &Topology,
+    ap_id: usize,
+    p: &Point,
+    chassis_only: bool,
+) -> f64 {
+    let ap = &topo.aps[ap_id];
+    let d = if chassis_only {
+        ap.position.distance(p)
+    } else {
+        ap.antennas
+            .iter()
+            .map(|a| a.distance(p))
+            .fold(ap.position.distance(p), f64::min)
+    };
+    env.tx_power_dbm - env.path_loss.path_loss_db(d)
+}
+
+/// Re-associates every client of `topo` under `policy`.
+///
+/// Candidate APs per client are discovered through a [`SpatialIndex`] over
+/// all antenna positions (O(k) per client instead of a scan over every AP);
+/// a client out of range of every antenna falls back to the globally
+/// strongest AP so nobody is left orphaned.
+pub fn associate(topo: &mut Topology, env: &Environment, policy: AssociationPolicy) {
+    if topo.aps.is_empty() {
+        return;
+    }
+    // Index every antenna plus every chassis, tagged with its AP.
+    let mut owner: Vec<usize> = Vec::new();
+    let mut index = SpatialIndex::new(topo.region, env.coverage_range_m().max(1.0));
+    for ap in &topo.aps {
+        index.insert(ap.position);
+        owner.push(ap.ap_id);
+        for &a in &ap.antennas {
+            index.insert(a);
+            owner.push(ap.ap_id);
+        }
+    }
+    // Beyond twice the coverage range no AP is a plausible candidate; the
+    // global fallback below covers pathological floors.
+    let candidate_radius = 2.0 * env.coverage_range_m();
+
+    let mut loads = vec![0usize; topo.aps.len()];
+    let positions: Vec<Point> = topo.clients.iter().map(|c| c.position).collect();
+    let mut chosen: Vec<usize> = Vec::with_capacity(positions.len());
+    for p in &positions {
+        let mut candidates: Vec<usize> = index
+            .neighbors_within(p, candidate_radius)
+            .into_iter()
+            .map(|id| owner[id])
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        if candidates.is_empty() {
+            candidates = (0..topo.aps.len()).collect();
+        }
+
+        let chassis_only = policy == AssociationPolicy::NearestAp;
+        let scored: Vec<(usize, f64)> = candidates
+            .iter()
+            .map(|&ap| (ap, best_rssi_dbm(env, topo, ap, p, chassis_only)))
+            .collect();
+        let best = scored
+            .iter()
+            .copied()
+            .fold((usize::MAX, f64::NEG_INFINITY), |acc, (ap, s)| {
+                if s > acc.1 {
+                    (ap, s)
+                } else {
+                    acc
+                }
+            });
+
+        let pick = match policy {
+            AssociationPolicy::NearestAp | AssociationPolicy::AntennaAware => best.0,
+            AssociationPolicy::LoadBalanced { hysteresis_db } => {
+                let mut pick = best.0;
+                let mut pick_load = usize::MAX;
+                for &(ap, s) in &scored {
+                    if s >= best.1 - hysteresis_db && loads[ap] < pick_load {
+                        pick = ap;
+                        pick_load = loads[ap];
+                    }
+                }
+                pick
+            }
+        };
+        loads[pick] += 1;
+        chosen.push(pick);
+    }
+    for (client, ap_id) in topo.clients.iter_mut().zip(chosen) {
+        client.ap_id = ap_id;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::grid::FloorGrid;
+    use midas_channel::topology::TopologyConfig;
+    use midas_channel::SimRng;
+
+    fn grid_topology(seed: u64) -> (Topology, Environment) {
+        let mut rng = SimRng::new(seed);
+        let grid = FloorGrid::new(4, 2, 15.0);
+        let topo = grid
+            .generate(&TopologyConfig::das(4, 4), &mut rng)
+            .expect("valid grid");
+        (topo, Environment::open_plan())
+    }
+
+    #[test]
+    fn nearest_ap_matches_chassis_distance() {
+        let (mut topo, env) = grid_topology(1);
+        associate(&mut topo, &env, AssociationPolicy::NearestAp);
+        for c in &topo.clients {
+            let own = topo.aps[c.ap_id].position.distance(&c.position);
+            for ap in &topo.aps {
+                assert!(
+                    ap.position.distance(&c.position) >= own - 1e-9,
+                    "client {} associated past a closer AP",
+                    c.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn antenna_aware_matches_best_antenna_distance() {
+        let (mut topo, env) = grid_topology(2);
+        associate(&mut topo, &env, AssociationPolicy::AntennaAware);
+        let best_d = |topo: &Topology, ap_id: usize, p: &Point| {
+            topo.aps[ap_id]
+                .antennas
+                .iter()
+                .map(|a| a.distance(p))
+                .fold(topo.aps[ap_id].position.distance(p), f64::min)
+        };
+        for c in &topo.clients {
+            let own = best_d(&topo, c.ap_id, &c.position);
+            for ap_id in 0..topo.aps.len() {
+                assert!(best_d(&topo, ap_id, &c.position) >= own - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn antenna_aware_differs_from_nearest_ap_on_das_floors() {
+        // Distributed antennas must actually flip some associations —
+        // otherwise the policy axis is vacuous.
+        let mut flips = 0usize;
+        for seed in 0..5 {
+            let (mut a, env) = grid_topology(100 + seed);
+            let mut b = a.clone();
+            associate(&mut a, &env, AssociationPolicy::NearestAp);
+            associate(&mut b, &env, AssociationPolicy::AntennaAware);
+            flips += a
+                .clients
+                .iter()
+                .zip(b.clients.iter())
+                .filter(|(x, y)| x.ap_id != y.ap_id)
+                .count();
+        }
+        assert!(flips > 0, "antenna-aware association never differed");
+    }
+
+    #[test]
+    fn load_balancing_tightens_the_client_spread() {
+        // Hotspot floors overload one AP under pure RSSI association; the
+        // load-balanced policy must spread the peak.
+        let mut rng = SimRng::new(7);
+        let grid = FloorGrid {
+            clients_per_ap: 12,
+            placement: crate::scale::grid::ClientPlacement::Hotspot {
+                clusters: 1,
+                sigma_m: 8.0,
+            },
+            ..FloorGrid::new(3, 2, 14.0)
+        };
+        let env = Environment::open_plan();
+        let mut rssi_only = grid.generate(&TopologyConfig::das(4, 4), &mut rng).unwrap();
+        let mut balanced = rssi_only.clone();
+        associate(&mut rssi_only, &env, AssociationPolicy::AntennaAware);
+        associate(
+            &mut balanced,
+            &env,
+            AssociationPolicy::LoadBalanced { hysteresis_db: 8.0 },
+        );
+        let peak = |topo: &Topology| {
+            (0..topo.aps.len())
+                .map(|ap| topo.clients_of(ap).len())
+                .max()
+                .unwrap()
+        };
+        assert!(
+            peak(&balanced) < peak(&rssi_only),
+            "load balancing did not reduce the peak load ({} vs {})",
+            peak(&balanced),
+            peak(&rssi_only)
+        );
+    }
+
+    #[test]
+    fn association_is_deterministic() {
+        for policy in [
+            AssociationPolicy::NearestAp,
+            AssociationPolicy::AntennaAware,
+            AssociationPolicy::LoadBalanced { hysteresis_db: 6.0 },
+        ] {
+            let (mut a, env) = grid_topology(9);
+            let mut b = a.clone();
+            associate(&mut a, &env, policy);
+            associate(&mut b, &env, policy);
+            let ids = |t: &Topology| t.clients.iter().map(|c| c.ap_id).collect::<Vec<_>>();
+            assert_eq!(ids(&a), ids(&b));
+        }
+    }
+}

@@ -14,6 +14,7 @@
 
 use crate::contention::ContentionGraph;
 use crate::metrics::Cdf;
+use crate::scale::index::SpatialIndex;
 use midas_channel::geometry::Point;
 use midas_channel::topology::Topology;
 use midas_channel::{ChannelMatrix, ChannelModel, Environment, SimRng};
@@ -34,6 +35,23 @@ pub enum MacKind {
     Cas,
 }
 
+/// How the simulator answers "who is near this point?" — carrier-sense and
+/// cross-AP interference neighbourhoods.
+///
+/// Both modes apply the same interaction-range truncation and visit the
+/// surviving points in the same (insertion) order, so they produce
+/// **bit-identical** results; the property tests in `tests/proptest_scale.rs`
+/// pin that equivalence.  `Indexed` is the default: O(n·k) per round via the
+/// uniform-grid [`SpatialIndex`] instead of the O(n²) pairwise sweeps, which
+/// is what keeps 64-AP / 512-client floors tractable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanMode {
+    /// Uniform-grid spatial-index neighbourhood queries (default).
+    Indexed,
+    /// Reference all-pairs sweep, kept for equivalence testing.
+    BruteForce,
+}
+
 /// Configuration of an end-to-end simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetworkSimConfig {
@@ -49,6 +67,15 @@ pub struct NetworkSimConfig {
     pub tag_width: usize,
     /// Random seed for channel realisations and access order.
     pub seed: u64,
+    /// Radio interaction range (metres): a transmitter farther than this
+    /// from a sensing antenna contributes nothing to carrier sensing, and a
+    /// transmission whose antennas are all farther than this from a client
+    /// contributes no interference.  `f64::INFINITY` (the constructor
+    /// default, matching the paper-scale figures) disables truncation;
+    /// enterprise scenarios set it from `Environment::interaction_range_m`.
+    pub interaction_range_m: f64,
+    /// Neighbourhood scan implementation (results are bit-identical).
+    pub scan: ScanMode,
 }
 
 impl NetworkSimConfig {
@@ -61,6 +88,8 @@ impl NetworkSimConfig {
             rounds: 20,
             tag_width: 2,
             seed,
+            interaction_range_m: f64::INFINITY,
+            scan: ScanMode::Indexed,
         }
     }
 
@@ -73,7 +102,24 @@ impl NetworkSimConfig {
             rounds: 20,
             tag_width: 2,
             seed,
+            interaction_range_m: f64::INFINITY,
+            scan: ScanMode::Indexed,
         }
+    }
+
+    /// Cell size the simulator's spatial indices use: the interaction range
+    /// (radius-`r` queries then touch at most a 3×3 window).
+    fn index_cell_m(&self) -> f64 {
+        self.interaction_range_m
+    }
+
+    /// Whether the indexed scan actually runs.  With an infinite interaction
+    /// range a neighbourhood query degenerates to "every point" — provably
+    /// the same result, but the query/sort machinery would be pure overhead
+    /// on the paper-scale figures — so the index is only engaged when a
+    /// finite range gives it something to prune.
+    fn use_index(&self) -> bool {
+        self.scan == ScanMode::Indexed && self.interaction_range_m.is_finite()
     }
 }
 
@@ -87,6 +133,13 @@ pub struct TopologyResult {
     pub per_round_streams: Vec<usize>,
     /// Total service time credited to each client (µs), for fairness checks.
     pub per_client_airtime_us: Vec<f64>,
+    /// Capacity attributed to each AP, summed over all rounds (bit/s/Hz) —
+    /// the per-AP diagnostic behind the Fig. 16 calibration work: it shows
+    /// which APs in a large floor are starved by contention vs drowned in
+    /// cross-AP interference.
+    pub per_ap_capacity: Vec<f64>,
+    /// Rounds in which each AP (any of its antennas) transmitted.
+    pub per_ap_active_rounds: Vec<usize>,
 }
 
 impl TopologyResult {
@@ -102,6 +155,22 @@ impl TopologyResult {
             return 0.0;
         }
         self.per_round_streams.iter().sum::<usize>() as f64 / self.per_round_streams.len() as f64
+    }
+
+    /// Mean capacity attributed to each AP per round (bit/s/Hz) — zero for
+    /// APs that never won channel access.
+    pub fn per_ap_mean_capacity(&self) -> Vec<f64> {
+        let rounds = self.per_round_capacity.len().max(1) as f64;
+        self.per_ap_capacity.iter().map(|c| c / rounds).collect()
+    }
+
+    /// Fraction of rounds each AP managed to transmit in.
+    pub fn per_ap_duty_cycle(&self) -> Vec<f64> {
+        let rounds = self.per_round_capacity.len().max(1) as f64;
+        self.per_ap_active_rounds
+            .iter()
+            .map(|&r| r as f64 / rounds)
+            .collect()
     }
 
     /// Jain fairness index of the per-client airtime.
@@ -128,6 +197,43 @@ struct ActiveTransmission {
     v: CMat,
 }
 
+/// One AP's channel state, restricted to the clients in radio range.
+///
+/// With a finite interaction range an AP's signal is unreadable — and its
+/// interference untruncated-zero — at clients beyond the cutoff, so there is
+/// no reason to realise, store or evolve those rows: per-AP channel state
+/// shrinks from O(all clients) to O(clients in range), which is what turns
+/// the simulator's per-round cost from O(n²) into O(n·k) at enterprise
+/// scale.  Rows are indexed by *global* client id through `row_of`.
+struct ApChannel {
+    ch: ChannelMatrix,
+    /// Global client id → row of `ch`; `None` when the client is out of
+    /// radio range of every antenna of this AP (its channel is never read).
+    row_of: Vec<Option<u32>>,
+}
+
+impl ApChannel {
+    fn row(&self, client: usize) -> usize {
+        self.row_of[client].expect("channel row requested for an out-of-range client") as usize
+    }
+
+    /// Channel coefficient from AP-local antenna `k` to a global client.
+    fn h_get(&self, client: usize, antenna: usize) -> midas_linalg::Complex {
+        self.ch.h.get(self.row(client), antenna)
+    }
+
+    /// Mean RSSI (dBm) of a global client from AP-local antenna `k`.
+    fn mean_rssi_dbm(&self, client: usize, antenna: usize) -> f64 {
+        self.ch.mean_rssi_dbm(self.row(client), antenna)
+    }
+
+    /// Sub-channel over global clients × AP-local antennas.
+    fn select(&self, clients: &[usize], antennas: &[usize]) -> ChannelMatrix {
+        let rows: Vec<usize> = clients.iter().map(|&c| self.row(c)).collect();
+        self.ch.select(&rows, antennas)
+    }
+}
+
 /// The end-to-end network simulator bound to one topology.
 pub struct NetworkSimulator {
     topo: Topology,
@@ -135,9 +241,9 @@ pub struct NetworkSimulator {
     model: ChannelModel,
     graph: ContentionGraph,
     rng: SimRng,
-    /// Per-AP channel from the AP's antennas to *all* clients
-    /// (rows = topology-wide client index).
-    channels: Vec<ChannelMatrix>,
+    /// Per-AP channel to the clients within radio range (all clients when
+    /// the interaction range is infinite).
+    channels: Vec<ApChannel>,
     /// Per-AP fairness state over the AP's own clients (AP-local indices).
     drr: Vec<DrrScheduler>,
     /// Per-AP tag tables over the AP's own clients (AP-local indices).
@@ -151,11 +257,51 @@ impl NetworkSimulator {
         let graph = ContentionGraph::new(config.env, config.seed ^ 0x5151);
         let rng = SimRng::new(config.seed).fork(0xAC);
 
-        let all_client_positions: Vec<Point> = topo.clients.iter().map(|c| c.position).collect();
-        let channels: Vec<ChannelMatrix> = topo
+        let num_clients = topo.clients.len();
+        let cutoff = config.interaction_range_m;
+        let client_index = cutoff.is_finite().then(|| {
+            SpatialIndex::from_points(
+                topo.region,
+                config.index_cell_m(),
+                &topo.clients.iter().map(|c| c.position).collect::<Vec<_>>(),
+            )
+        });
+        let channels: Vec<ApChannel> = topo
             .aps
             .iter()
-            .map(|ap| model.realize_positions(&ap.antennas, &all_client_positions))
+            .map(|ap| {
+                // Rows: every client within the interaction range of any of
+                // this AP's antennas (their signal/interference is exactly
+                // zero beyond it), plus the AP's own clients so scheduling
+                // state is always defined.
+                let mut visible: Vec<usize> = if let Some(index) = &client_index {
+                    let mut v: Vec<usize> = ap
+                        .antennas
+                        .iter()
+                        .flat_map(|a| index.neighbors_within(a, cutoff))
+                        .collect();
+                    v.extend(
+                        topo.clients
+                            .iter()
+                            .filter(|c| c.ap_id == ap.ap_id)
+                            .map(|c| c.id),
+                    );
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                } else {
+                    (0..num_clients).collect()
+                };
+                visible.shrink_to_fit();
+                let positions: Vec<Point> =
+                    visible.iter().map(|&c| topo.clients[c].position).collect();
+                let ch = model.realize_positions(&ap.antennas, &positions);
+                let mut row_of = vec![None; num_clients];
+                for (row, &c) in visible.iter().enumerate() {
+                    row_of[c] = Some(row as u32);
+                }
+                ApChannel { ch, row_of }
+            })
             .collect();
 
         let mut drr = Vec::new();
@@ -195,24 +341,31 @@ impl NetworkSimulator {
     /// Runs the configured number of rounds and returns the aggregate result.
     pub fn run(&mut self) -> TopologyResult {
         let num_clients = self.topo.clients.len();
+        let num_aps = self.topo.aps.len();
         let mut per_round_capacity = Vec::with_capacity(self.config.rounds);
         let mut per_round_streams = Vec::with_capacity(self.config.rounds);
         let mut per_client_airtime = vec![0.0; num_clients];
+        let mut per_ap_capacity = vec![0.0; num_aps];
+        let mut per_ap_active_rounds = vec![0usize; num_aps];
 
         for _round in 0..self.config.rounds {
             // Channel evolves between rounds (one TXOP apart).
-            for ch in &mut self.channels {
-                *ch = self.model.evolve(ch, DEFAULT_TXOP_US as f64 * 1e-6);
+            for apch in &mut self.channels {
+                apch.ch = self.model.evolve(&apch.ch, DEFAULT_TXOP_US as f64 * 1e-6);
             }
             let transmissions = self.plan_round();
             let capacities = self.evaluate_round(&transmissions);
 
-            let total_capacity: f64 = capacities.iter().map(|(_, c)| c).sum();
+            let total_capacity: f64 = capacities.iter().map(|(_, _, c)| c).sum();
             let total_streams: usize = transmissions.iter().map(|t| t.clients.len()).sum();
             per_round_capacity.push(total_capacity);
             per_round_streams.push(total_streams);
-            for (client, _) in &capacities {
+            for (client, ap, c) in &capacities {
                 per_client_airtime[*client] += DEFAULT_TXOP_US as f64;
+                per_ap_capacity[*ap] += c;
+            }
+            for t in &transmissions {
+                per_ap_active_rounds[t.ap_id] += 1;
             }
 
             // Fairness counter updates per AP.
@@ -231,6 +384,8 @@ impl NetworkSimulator {
             per_round_capacity,
             per_round_streams,
             per_client_airtime_us: per_client_airtime,
+            per_ap_capacity,
+            per_ap_active_rounds,
         }
     }
 
@@ -240,7 +395,15 @@ impl NetworkSimulator {
         let mut order: Vec<usize> = (0..num_aps).collect();
         self.rng.shuffle(&mut order);
 
+        let cutoff = self.config.interaction_range_m;
         let mut active_antenna_positions: Vec<Point> = Vec::new();
+        // Mirror of `active_antenna_positions` supporting O(k) "who can I
+        // hear?" queries; ids are insertion-ordered, so folding over a
+        // neighbourhood reproduces the brute-force sweep bit-for-bit.
+        let mut active_index = self
+            .config
+            .use_index()
+            .then(|| SpatialIndex::new(self.topo.region, self.config.index_cell_m()));
         let mut transmissions: Vec<ActiveTransmission> = Vec::new();
 
         for &ap_id in &order {
@@ -251,20 +414,31 @@ impl NetworkSimulator {
             }
             let backlogged: Vec<usize> = (0..own_clients.len()).collect();
 
+            // Energy-detection carrier sensing against the transmitters
+            // already on the air, truncated at the interaction range.
+            let senses = |antenna: &Point| -> bool {
+                match &active_index {
+                    None => {
+                        self.graph
+                            .senses_any_within(antenna, &active_antenna_positions, cutoff)
+                    }
+                    Some(index) => self.graph.senses_aggregate(
+                        antenna,
+                        index
+                            .neighbors_within(antenna, cutoff)
+                            .into_iter()
+                            .map(|id| &active_antenna_positions[id]),
+                    ),
+                }
+            };
+
             // Which antennas may transmit given what is already on the air?
             let available: Vec<usize> = match self.config.mac {
                 MacKind::Midas => (0..ap.num_antennas())
-                    .filter(|&k| {
-                        !self
-                            .graph
-                            .senses_any(&ap.antennas[k], &active_antenna_positions)
-                    })
+                    .filter(|&k| !senses(&ap.antennas[k]))
                     .collect(),
                 MacKind::Cas => {
-                    let busy = ap
-                        .antennas
-                        .iter()
-                        .any(|a| self.graph.senses_any(a, &active_antenna_positions));
+                    let busy = ap.antennas.iter().any(&senses);
                     if busy {
                         Vec::new()
                     } else {
@@ -297,6 +471,9 @@ impl NetworkSimulator {
 
             for &k in &available {
                 active_antenna_positions.push(ap.antennas[k]);
+                if let Some(index) = &mut active_index {
+                    index.insert(ap.antennas[k]);
+                }
             }
             transmissions.push(ActiveTransmission {
                 ap_id,
@@ -309,18 +486,40 @@ impl NetworkSimulator {
     }
 
     /// Computes per-client capacities including cross-AP interference.
-    fn evaluate_round(&self, transmissions: &[ActiveTransmission]) -> Vec<(usize, f64)> {
+    ///
+    /// Returns `(client, serving AP, capacity)` triples.  A concurrent
+    /// transmission only interferes with a client when at least one of its
+    /// transmitting antennas is within the interaction range; both scan
+    /// modes apply that rule and visit interferers in transmission order, so
+    /// the capacities are bit-identical between them.
+    fn evaluate_round(&self, transmissions: &[ActiveTransmission]) -> Vec<(usize, usize, f64)> {
+        let cutoff = self.config.interaction_range_m;
+        // Map every active antenna back to its transmission for the indexed
+        // interferer lookup.
+        let interferer_index = self.config.use_index().then(|| {
+            let mut index = SpatialIndex::new(self.topo.region, self.config.index_cell_m());
+            let mut tx_of_antenna = Vec::new();
+            for (tx_idx, t) in transmissions.iter().enumerate() {
+                for &k in &t.antenna_idx {
+                    index.insert(self.topo.aps[t.ap_id].antennas[k]);
+                    tx_of_antenna.push(tx_idx);
+                }
+            }
+            (index, tx_of_antenna)
+        });
+
         let mut out = Vec::new();
-        for t in transmissions {
+        for (tx_idx, t) in transmissions.iter().enumerate() {
             let ch = &self.channels[t.ap_id];
             for (stream_idx, &client) in t.clients.iter().enumerate() {
+                let client_pos = &self.topo.clients[client].position;
                 // Desired + intra-AP interference from this transmission.
                 let mut signal = 0.0;
                 let mut interference = 0.0;
                 for (other_stream, _) in t.clients.iter().enumerate() {
                     let mut amp = midas_linalg::Complex::ZERO;
                     for (row, &k) in t.antenna_idx.iter().enumerate() {
-                        amp += ch.h.get(client, k) * t.v.get(row, other_stream);
+                        amp += ch.h_get(client, k) * t.v.get(row, other_stream);
                     }
                     if other_stream == stream_idx {
                         signal = amp.norm_sqr();
@@ -328,23 +527,45 @@ impl NetworkSimulator {
                         interference += amp.norm_sqr();
                     }
                 }
-                // Cross-AP interference from every other concurrent transmission.
-                for other in transmissions {
-                    if std::ptr::eq(other, t) {
+                // Cross-AP interference from the concurrent transmissions in
+                // radio range of this client, in transmission order.
+                let interferers: Vec<usize> = match &interferer_index {
+                    Some((index, tx_of_antenna)) => {
+                        let mut ids: Vec<usize> = index
+                            .neighbors_within(client_pos, cutoff)
+                            .into_iter()
+                            .map(|antenna_id| tx_of_antenna[antenna_id])
+                            .collect();
+                        ids.dedup(); // antenna ids are sorted, so tx ids are too
+                        ids
+                    }
+                    None => (0..transmissions.len())
+                        .filter(|&o| {
+                            transmissions[o].antenna_idx.iter().any(|&k| {
+                                self.topo.aps[transmissions[o].ap_id].antennas[k]
+                                    .distance(client_pos)
+                                    <= cutoff
+                            })
+                        })
+                        .collect(),
+                };
+                for o in interferers {
+                    if o == tx_idx {
                         continue;
                     }
+                    let other = &transmissions[o];
                     let och = &self.channels[other.ap_id];
                     for other_stream in 0..other.clients.len() {
                         let mut amp = midas_linalg::Complex::ZERO;
                         for (row, &k) in other.antenna_idx.iter().enumerate() {
-                            amp += och.h.get(client, k) * other.v.get(row, other_stream);
+                            amp += och.h_get(client, k) * other.v.get(row, other_stream);
                         }
                         interference += amp.norm_sqr();
                     }
                 }
-                let noise = ch.noise_mw;
+                let noise = ch.ch.noise_mw;
                 let sinr = signal / (noise + interference);
-                out.push((client, shannon_capacity_bps_hz(sinr)));
+                out.push((client, t.ap_id, shannon_capacity_bps_hz(sinr)));
             }
         }
         out

@@ -1,0 +1,201 @@
+//! Property tests for the enterprise-scale subsystem (`midas_net::scale`).
+//!
+//! The load-bearing property is *exact equivalence*: the spatial-index scan
+//! path must reproduce the brute-force O(n²) sweeps bit-for-bit — same
+//! neighbourhood sets, same carrier-sense decisions (active sets), same
+//! capacities — across random topologies, placements and interaction
+//! ranges.  Everything the figures show therefore cannot depend on which
+//! scan implementation ran.
+
+use midas_channel::geometry::{Point, Rect};
+use midas_channel::topology::TopologyConfig;
+use midas_channel::{Environment, SimRng};
+use midas_net::contention::ContentionGraph;
+use midas_net::scale::grid::ClientPlacement;
+use midas_net::scale::{FloorGrid, Scenario, SpatialIndex};
+use midas_net::simulator::{MacKind, NetworkSimulator, ScanMode};
+use proptest::prelude::*;
+
+/// Draws a random floor grid covering all three placement models.
+fn random_grid(cols: usize, rows: usize, spacing: f64, placement_sel: usize) -> FloorGrid {
+    let placement = match placement_sel % 3 {
+        0 => ClientPlacement::Uniform,
+        1 => ClientPlacement::Hotspot {
+            clusters: 2,
+            sigma_m: 4.0,
+        },
+        _ => ClientPlacement::Corridor { width_m: 3.0 },
+    };
+    FloorGrid {
+        clients_per_ap: 4,
+        placement,
+        ..FloorGrid::new(cols, rows, spacing)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `SpatialIndex::neighbors_within` is set-identical (and, because both
+    /// sides are id-sorted, sequence-identical) to the brute-force O(n²)
+    /// pair scan, for random point clouds, query points and radii —
+    /// including points outside the nominal bounds and infinite radii.
+    #[test]
+    fn spatial_index_matches_brute_force(
+        seed in 0u64..1_000_000,
+        n in 0usize..80,
+        cell in 2.0f64..30.0,
+        radius_sel in 0usize..8,
+    ) {
+        let region = Rect::new(Point::new(0.0, 0.0), 70.0, 50.0);
+        let mut rng = SimRng::new(seed);
+        let points: Vec<Point> = (0..n)
+            .map(|_| Point::new(
+                rng.uniform_range(-10.0, 80.0),
+                rng.uniform_range(-10.0, 60.0),
+            ))
+            .collect();
+        let index = SpatialIndex::from_points(region, cell, &points);
+        let radius = match radius_sel {
+            0 => 0.0,
+            7 => f64::INFINITY,
+            _ => rng.uniform_range(0.0, 60.0),
+        };
+        for _ in 0..5 {
+            let q = Point::new(
+                rng.uniform_range(-15.0, 85.0),
+                rng.uniform_range(-15.0, 65.0),
+            );
+            prop_assert_eq!(
+                index.neighbors_within(&q, radius),
+                SpatialIndex::brute_force_within(&points, &q, radius)
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The indexed AP-adjacency construction equals the all-pairs
+    /// range-limited sweep on random floor grids.
+    #[test]
+    fn indexed_ap_adjacency_matches_pairwise_sweep(
+        seed in 0u64..1_000_000,
+        cols in 1usize..5,
+        rows in 1usize..4,
+        spacing in 8.0f64..20.0,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let grid = random_grid(cols, rows, spacing, seed as usize);
+        let topo = grid
+            .generate(&TopologyConfig::das(4, 4), &mut rng)
+            .expect("valid grid");
+        let env = Environment::open_plan();
+        let graph = ContentionGraph::new(env, seed);
+        let cutoff = env.interaction_range_m(30.0);
+        let indexed = graph.ap_adjacency_indexed(&topo, cutoff);
+        let n = topo.aps.len();
+        for (a, row) in indexed.iter().enumerate() {
+            for (b, &adjacent) in row.iter().enumerate() {
+                let brute = a != b && graph.aps_share_domain_within(&topo, a, b, cutoff);
+                prop_assert_eq!(
+                    adjacent, brute,
+                    "APs {} and {} disagree between indexed and brute-force adjacency", a, b
+                );
+            }
+        }
+        prop_assert_eq!(indexed.len(), n);
+    }
+}
+
+/// Runs one simulator variant under both scan modes and asserts the results
+/// are bit-for-bit identical: same per-round stream counts (active sets),
+/// same capacities, same airtime, same per-AP attribution.
+fn assert_scan_modes_agree(scenario: &Scenario, mac: MacKind, rounds: usize, seed: u64) {
+    let pair = scenario.build(seed).expect("buildable scenario");
+    let topo = match mac {
+        MacKind::Midas => pair.das,
+        MacKind::Cas => pair.cas,
+    };
+    let mut indexed_cfg = scenario.sim_config(mac, rounds, seed);
+    indexed_cfg.scan = ScanMode::Indexed;
+    let mut brute_cfg = indexed_cfg;
+    brute_cfg.scan = ScanMode::BruteForce;
+
+    let indexed = NetworkSimulator::new(topo.clone(), indexed_cfg).run();
+    let brute = NetworkSimulator::new(topo, brute_cfg).run();
+    assert_eq!(
+        indexed,
+        brute,
+        "{} {:?}: indexed and brute-force simulation diverged",
+        scenario.name(),
+        mac
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Full end-to-end equivalence of the two scan modes on every scenario
+    /// family, both MACs, with the finite enterprise interaction range.
+    #[test]
+    fn simulator_scan_modes_are_bit_identical(
+        seed in 0u64..1_000_000,
+        scenario_sel in 0usize..3,
+    ) {
+        let scenario = match scenario_sel {
+            0 => Scenario::enterprise_office(8),
+            1 => Scenario::auditorium(8),
+            _ => Scenario::dense_apartment(8),
+        };
+        for mac in [MacKind::Midas, MacKind::Cas] {
+            assert_scan_modes_agree(&scenario, mac, 5, seed);
+        }
+    }
+}
+
+#[test]
+fn scan_modes_agree_with_infinite_interaction_range_too() {
+    // The paper-scale figures run untruncated.  An infinite radius gives the
+    // index nothing to prune, so the config resolves it away internally —
+    // this pins that the resolution really is output-neutral.
+    let scenario = Scenario::enterprise_office(8);
+    let pair = scenario.build(77).unwrap();
+    let mut indexed_cfg = scenario.sim_config(MacKind::Midas, 5, 77);
+    indexed_cfg.interaction_range_m = f64::INFINITY;
+    indexed_cfg.scan = ScanMode::Indexed;
+    let mut brute_cfg = indexed_cfg;
+    brute_cfg.scan = ScanMode::BruteForce;
+    let indexed = NetworkSimulator::new(pair.das.clone(), indexed_cfg).run();
+    let brute = NetworkSimulator::new(pair.das, brute_cfg).run();
+    assert_eq!(indexed, brute);
+}
+
+#[test]
+fn a_64_ap_512_client_scenario_completes_quickly() {
+    // Acceptance criterion: a full 64-AP / 512-client `NetworkSimulator`
+    // run finishes in seconds.  The test budget is generous so CI noise
+    // cannot flake it; locally this takes well under 10 s.
+    let scenario = Scenario::enterprise_office(64);
+    assert_eq!(scenario.num_aps(), 64);
+    assert_eq!(scenario.num_clients(), 512);
+    let start = std::time::Instant::now();
+    let pair = scenario.build(1).expect("64-AP scenario builds");
+    let mut sim = NetworkSimulator::new(pair.das, scenario.sim_config(MacKind::Midas, 10, 1));
+    let result = sim.run();
+    let elapsed = start.elapsed();
+    assert_eq!(result.per_round_capacity.len(), 10);
+    assert!(result.mean_capacity() > 0.0 && result.mean_capacity().is_finite());
+    assert_eq!(result.per_ap_capacity.len(), 64);
+    // MIDAS at enterprise scale reuses spectrum: many APs transmit per round.
+    assert!(
+        result.mean_streams() > 8.0,
+        "streams {}",
+        result.mean_streams()
+    );
+    assert!(
+        elapsed.as_secs() < 60,
+        "64-AP run took {elapsed:?} — spatial index not effective"
+    );
+}

@@ -10,13 +10,25 @@
 use super::{Precoder, PrecoderKind, Precoding};
 use midas_linalg::{pinv, CMat};
 
+/// Relative tolerance of the QR rank check deciding whether the cheap
+/// pseudoinverse route is numerically safe.  Deliberately conservative: a
+/// false negative only costs an SVD, a false positive would amplify noise.
+const QR_RANK_TOL: f64 = 1e-8;
+
 /// Returns the zero-forcing directions: the pseudoinverse of `h` with every
 /// column normalised to unit power.
 ///
 /// Column `j` is the unit-norm transmit vector that delivers stream `j` to
 /// client `j` while nulling it at every other client.
+///
+/// The pseudoinverse is computed via the Householder-QR route
+/// ([`pinv::qr_right_pseudo_inverse`]), whose `R`-diagonal doubles as the
+/// rank check — well-conditioned full-row-rank channels (the overwhelmingly
+/// common case) never pay for an SVD.  (Near-)rank-deficient or tall
+/// channels fall back to the rank-revealing SVD pseudoinverse.
 pub fn zfbf_directions(h: &CMat) -> CMat {
-    let mut v = pinv::pseudo_inverse(h, 1e-12);
+    let mut v = pinv::qr_right_pseudo_inverse(h, QR_RANK_TOL)
+        .unwrap_or_else(|| pinv::pseudo_inverse(h, 1e-12));
     for j in 0..v.cols() {
         let p = v.col_power(j);
         if p > 0.0 {

@@ -1,0 +1,60 @@
+//! Enterprise-scale deployment demo: a 64-AP / 512-client floor through the
+//! `midas_net::scale` subsystem.
+//!
+//! ```sh
+//! cargo run --release --example enterprise_grid            # all scenarios, 64 APs
+//! MIDAS_ENTERPRISE_AP_COUNTS=16 cargo run --release --example enterprise_grid
+//! ```
+
+use midas_net::metrics::Cdf;
+use midas_net::scale::Scenario;
+use midas_net::simulator::{MacKind, NetworkSimulator};
+
+fn main() {
+    let aps: usize = std::env::var("MIDAS_ENTERPRISE_AP_COUNTS")
+        .ok()
+        .and_then(|v| v.split(',').next().and_then(|n| n.trim().parse().ok()))
+        .unwrap_or(64);
+    let rounds = 10;
+    let seed = 0x11DA5;
+
+    for scenario in Scenario::all(aps) {
+        let env = scenario.environment();
+        println!(
+            "== {} — {} APs ({}x{} grid, {:.0} m spacing), {} clients, interaction range {:.1} m",
+            scenario.name(),
+            scenario.num_aps(),
+            scenario.grid.cols,
+            scenario.grid.rows,
+            scenario.grid.ap_spacing_m,
+            scenario.num_clients(),
+            env.interaction_range_m(midas_net::scale::scenario::INTERACTION_MARGIN_DB),
+        );
+        let start = std::time::Instant::now();
+        let pair = scenario.build(seed).expect("scenario builds");
+        let cas =
+            NetworkSimulator::new(pair.cas, scenario.sim_config(MacKind::Cas, rounds, seed)).run();
+        let das =
+            NetworkSimulator::new(pair.das, scenario.sim_config(MacKind::Midas, rounds, seed))
+                .run();
+        let duty = Cdf::new(&das.per_ap_duty_cycle());
+        println!(
+            "   CAS   {:7.1} bit/s/Hz over {:5.1} streams/round",
+            cas.mean_capacity(),
+            cas.mean_streams()
+        );
+        println!(
+            "   MIDAS {:7.1} bit/s/Hz over {:5.1} streams/round  \
+             (per-AP duty cycle min {:.2} / median {:.2} / max {:.2})",
+            das.mean_capacity(),
+            das.mean_streams(),
+            duty.quantile(0.0),
+            duty.median(),
+            duty.quantile(1.0),
+        );
+        println!(
+            "   build + 2x {rounds}-round simulation: {:?}",
+            start.elapsed()
+        );
+    }
+}
