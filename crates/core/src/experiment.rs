@@ -17,9 +17,10 @@ use midas_channel::{ChannelModel, Environment, EnvironmentKind, SimRng};
 use midas_mac::client_select::{select_clients_midas, select_clients_random};
 use midas_mac::drr::DrrScheduler;
 use midas_mac::tagging::TagTable;
+use midas_net::capture::{ContentionModel, PhysicalConfig};
 use midas_net::contention::ContentionGraph;
 use midas_net::coverage::{compare_deadzones, DeadzoneComparison};
-use midas_net::deployment::{paper_das_config, PairedTopology};
+use midas_net::deployment::{paper_das_config, paper_das_config_dense, PairedTopology};
 use midas_net::hidden_terminal::{HiddenTerminalComparison, HiddenTerminalScenario};
 use midas_net::scale::scenario::INTERACTION_MARGIN_DB;
 use midas_net::scale::Scenario;
@@ -335,21 +336,72 @@ pub fn fig14_packet_tagging(topologies: usize, seed: u64) -> PairedSamples {
 }
 
 /// Figs. 15 / 16 — end-to-end network capacity of CAS vs MIDAS over random
-/// multi-AP topologies (3-AP testbed layout or 8-AP large-scale layout).
+/// multi-AP topologies (3-AP testbed layout or 8-AP large-scale layout),
+/// under the legacy binary contention graph.
 pub fn end_to_end_capacity(
     eight_aps: bool,
     topologies: usize,
     rounds: usize,
     seed: u64,
 ) -> PairedSamples {
+    end_to_end_capacity_with_model(eight_aps, topologies, rounds, seed, ContentionModel::Graph)
+}
+
+/// [`end_to_end_capacity`] under an explicit contention model: the
+/// per-topology network-capacity series of [`end_to_end_series`].
+pub fn end_to_end_capacity_with_model(
+    eight_aps: bool,
+    topologies: usize,
+    rounds: usize,
+    seed: u64,
+    contention: ContentionModel,
+) -> PairedSamples {
+    end_to_end_series(eight_aps, topologies, rounds, seed, contention).network
+}
+
+/// Full result of the Figs. 15 / 16 experiment under one contention model.
+#[derive(Debug, Clone, Default)]
+pub struct EndToEndSeries {
+    /// Mean network capacity per topology (bit/s/Hz) — the aggregate
+    /// series.
+    pub network: PairedSamples,
+    /// Mean capacity delivered to each client per round (bit/s/Hz), pooled
+    /// across topologies and paired by client (same positions in both
+    /// deployments).  The CDF of these is the paper's Fig. 16 comparison:
+    /// a client far from its co-located array vs the same client near a
+    /// distributed antenna.
+    pub per_client: PairedSamples,
+}
+
+/// Figs. 15 / 16 under an explicit contention model.  Both MACs run the
+/// same model — the paper's testbed CAS is subject to the same physical
+/// carrier sensing and capture effects as MIDAS, only with co-located
+/// vantage points.  `ContentionModel::Graph` reproduces
+/// [`end_to_end_capacity`]'s network series bit-for-bit.
+pub fn end_to_end_series(
+    eight_aps: bool,
+    topologies: usize,
+    rounds: usize,
+    seed: u64,
+    contention: ContentionModel,
+) -> EndToEndSeries {
     let env = if eight_aps {
         Environment::open_plan()
     } else {
         Environment::office_a()
     };
-    let cfg = paper_das_config(&env, 4, 4);
+    let cfg = if eight_aps {
+        // The §5.5 layout packs 8 APs into 60 × 60 m (nominal spacing
+        // √(area/AP) ≈ 21 m, well under the ~26 m coverage range), so the
+        // PR 3 dense-floor cap applies: uncapped §7 placement pushes DAS
+        // antennas into the neighbouring cells and collapses MIDAS duty
+        // cycles (see ROADMAP, Fig. 16 item).
+        paper_das_config_dense(&env, 4, 4, (60.0f64 * 60.0 / 8.0).sqrt())
+    } else {
+        paper_das_config(&env, 4, 4)
+    };
     let sweep = SeedSweep::new(seed).with_mix(193, 61);
-    PairedSamples::from_pairs(sweep.run(topologies, &|_t: usize, s: u64| {
+    let rows = sweep.run(topologies, &|_t: usize, s: u64| {
         let mut rng = SimRng::new(s);
         let pair = if eight_aps {
             PairedTopology::eight_ap(&cfg, &env, &mut rng)
@@ -360,15 +412,165 @@ pub fn end_to_end_capacity(
         let mut cas_cfg = NetworkSimConfig::cas(env, s);
         midas_cfg.rounds = rounds;
         cas_cfg.rounds = rounds;
+        midas_cfg.contention = contention;
+        cas_cfg.contention = contention;
+        let cas = NetworkSimulator::new(pair.cas, cas_cfg).run();
+        let das = NetworkSimulator::new(pair.das, midas_cfg).run();
         (
-            NetworkSimulator::new(pair.cas, cas_cfg)
-                .run()
-                .mean_capacity(),
-            NetworkSimulator::new(pair.das, midas_cfg)
-                .run()
-                .mean_capacity(),
+            (cas.mean_capacity(), das.mean_capacity()),
+            (
+                cas.per_client_mean_capacity(),
+                das.per_client_mean_capacity(),
+            ),
         )
-    }))
+    });
+    let mut out = EndToEndSeries::default();
+    for (net, clients) in rows {
+        out.network.cas.push(net.0);
+        out.network.das.push(net.1);
+        out.per_client.cas.extend(clients.0);
+        out.per_client.das.extend(clients.1);
+    }
+    out
+}
+
+/// The Fig. 16 headline band the calibration scores against: the median
+/// per-client capacity gain of MIDAS over CAS at 8 APs.  The paper reports
+/// "more than 150 %" (2.5×); this reproduction's accepted band is
+/// +50 %…+150 % — the physical model closes the gap from the graph model's
+/// sub-zero network gain to comfortably past half the paper's headline,
+/// and gains beyond the paper's own number would mean the CAS baseline
+/// collapsed rather than MIDAS winning.  Cells are scored by their
+/// distance to this band (fractional: 0.5 = +50 %).
+pub const FIG16_GAIN_BAND: (f64, f64) = (0.5, 1.5);
+
+/// The {CS threshold × capture margin × sensing σ} grid the Fig. 16
+/// calibration sweeps.
+#[derive(Debug, Clone)]
+pub struct CalibrationGrid {
+    /// Energy-detect CS thresholds to try (dBm).
+    pub cs_thresholds_dbm: Vec<f64>,
+    /// Capture margins to try (dB over the MCS-0 decode threshold).
+    pub capture_margins_db: Vec<f64>,
+    /// Sensing-field shadowing spreads to try (dB).
+    pub sensing_sigmas_db: Vec<f64>,
+}
+
+impl Default for CalibrationGrid {
+    /// The default grid brackets the region the coarse exploratory sweeps
+    /// (this PR) localised the paper band in: CS thresholds well below
+    /// every preset's −76 dBm CCA (the paper's testbed CAS almost never
+    /// won concurrent transmissions, so the physical CCA must be markedly
+    /// more sensitive), rate-adaptation margins of two to three MCS steps
+    /// (what silences the collision-prone cell-edge links), and sensing
+    /// spreads up to the preset shadowing.
+    fn default() -> Self {
+        CalibrationGrid {
+            cs_thresholds_dbm: vec![-88.0, -86.0, -84.0],
+            capture_margins_db: vec![6.0, 8.0, 10.0],
+            sensing_sigmas_db: vec![3.0, 4.5],
+        }
+    }
+}
+
+/// One scored cell of the Fig. 16 calibration sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationCell {
+    /// The physical-model parameters this cell ran with.
+    pub config: PhysicalConfig,
+    /// Median CAS network capacity over the topologies (bit/s/Hz).
+    pub cas_network_median: f64,
+    /// Median MIDAS network capacity over the topologies (bit/s/Hz).
+    pub das_network_median: f64,
+    /// Fractional gain in median network capacity.
+    pub network_gain: f64,
+    /// Median per-client capacity under CAS (bit/s/Hz per round, pooled
+    /// across topologies).
+    pub cas_client_median: f64,
+    /// Median per-client capacity under MIDAS.
+    pub das_client_median: f64,
+    /// Fractional gain in the median of the per-client CDF — the Fig. 16
+    /// headline the cell is scored on.
+    pub client_median_gain: f64,
+    /// Distance of `client_median_gain` to [`FIG16_GAIN_BAND`] (0 inside).
+    pub score: f64,
+}
+
+impl CalibrationCell {
+    /// Distance of a gain to the paper band (0 when inside it).
+    fn band_distance(gain: f64) -> f64 {
+        let (lo, hi) = FIG16_GAIN_BAND;
+        (lo - gain).max(gain - hi).max(0.0)
+    }
+}
+
+/// Fig. 16 calibration — grids {CS threshold × capture margin × sensing σ}
+/// through the 8-AP end-to-end simulation under
+/// [`ContentionModel::Physical`], scoring each cell's MIDAS-over-CAS median
+/// gain against the paper's Fig. 16 band.  Cells are returned in grid order
+/// (thresholds outermost); [`best_calibration_cell`] picks the winner that
+/// [`PhysicalConfig::calibrated`] promotes.
+pub fn fig16_calibration(
+    grid: &CalibrationGrid,
+    topologies: usize,
+    rounds: usize,
+    seed: u64,
+) -> Vec<CalibrationCell> {
+    let mut cells = Vec::new();
+    for &cs in &grid.cs_thresholds_dbm {
+        for &margin in &grid.capture_margins_db {
+            for &sigma in &grid.sensing_sigmas_db {
+                let config = PhysicalConfig {
+                    cs_threshold_dbm: cs,
+                    capture_margin_db: margin,
+                    sensing_sigma_db: Some(sigma),
+                };
+                let s = end_to_end_series(
+                    true,
+                    topologies,
+                    rounds,
+                    seed,
+                    ContentionModel::Physical(config),
+                );
+                let median = |v: &[f64]| midas_net::metrics::Cdf::new(v).median();
+                let cas_network_median = median(&s.network.cas);
+                let das_network_median = median(&s.network.das);
+                let cas_client_median = median(&s.per_client.cas);
+                let das_client_median = median(&s.per_client.das);
+                let client_median_gain =
+                    midas_net::metrics::relative_gain(das_client_median, cas_client_median);
+                cells.push(CalibrationCell {
+                    config,
+                    cas_network_median,
+                    das_network_median,
+                    network_gain: midas_net::metrics::relative_gain(
+                        das_network_median,
+                        cas_network_median,
+                    ),
+                    cas_client_median,
+                    das_client_median,
+                    client_median_gain,
+                    score: CalibrationCell::band_distance(client_median_gain),
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The winning calibration cell: minimal distance to the paper band, ties
+/// broken towards the client gain closest to the band's midpoint (+100 %)
+/// — a cell deep inside the band keeps the headline in-band under seed and
+/// scale changes in a way band-edge cells do not.  The rule is
+/// deterministic, so re-running the sweep re-derives the same promoted
+/// defaults.
+pub fn best_calibration_cell(cells: &[CalibrationCell]) -> Option<&CalibrationCell> {
+    let midpoint = (FIG16_GAIN_BAND.0 + FIG16_GAIN_BAND.1) / 2.0;
+    cells.iter().min_by(|a, b| {
+        (a.score, (a.client_median_gain - midpoint).abs())
+            .partial_cmp(&(b.score, (b.client_median_gain - midpoint).abs()))
+            .expect("calibration scores are finite")
+    })
 }
 
 /// Per-topology series of one enterprise-scale scenario at one AP count.
@@ -609,6 +811,61 @@ mod tests {
         let das: f64 = s.das.iter().sum();
         let cas: f64 = s.cas.iter().sum();
         assert!(das > cas, "MIDAS {das:.1} vs CAS {cas:.1}");
+    }
+
+    #[test]
+    fn end_to_end_series_network_matches_capacity_runner() {
+        // `end_to_end_capacity` is the network view of `end_to_end_series`;
+        // the per-client series must align with topologies × clients.
+        let series = end_to_end_series(false, 3, 5, 7, ContentionModel::Graph);
+        let capacity = end_to_end_capacity(false, 3, 5, 7);
+        assert_eq!(series.network.cas, capacity.cas);
+        assert_eq!(series.network.das, capacity.das);
+        assert_eq!(series.per_client.cas.len(), 3 * 12);
+        assert_eq!(series.per_client.das.len(), 3 * 12);
+        assert!(series.per_client.das.iter().all(|c| c.is_finite()));
+    }
+
+    #[test]
+    fn fig16_calibration_scores_cells_against_the_band() {
+        let grid = CalibrationGrid {
+            cs_thresholds_dbm: vec![-86.0],
+            capture_margins_db: vec![10.0],
+            sensing_sigmas_db: vec![3.0],
+        };
+        let cells = fig16_calibration(&grid, 2, 4, 42);
+        assert_eq!(cells.len(), 1);
+        let cell = &cells[0];
+        assert_eq!(cell.config.cs_threshold_dbm, -86.0);
+        assert!(cell.cas_network_median.is_finite() && cell.cas_network_median > 0.0);
+        assert!(cell.das_network_median.is_finite() && cell.das_network_median > 0.0);
+        // The score is exactly the distance of the client gain to the band.
+        let (lo, hi) = FIG16_GAIN_BAND;
+        let expect = (lo - cell.client_median_gain)
+            .max(cell.client_median_gain - hi)
+            .max(0.0);
+        assert_eq!(cell.score, expect);
+        assert_eq!(best_calibration_cell(&cells).unwrap(), cell);
+        assert!(best_calibration_cell(&[]).is_none());
+    }
+
+    #[test]
+    fn best_calibration_cell_prefers_in_band_then_band_centre() {
+        let mk = |gain: f64, score: f64| CalibrationCell {
+            config: PhysicalConfig::calibrated(),
+            cas_network_median: 1.0,
+            das_network_median: 1.0,
+            network_gain: 0.0,
+            cas_client_median: 1.0,
+            das_client_median: 1.0 + gain,
+            client_median_gain: gain,
+            score,
+        };
+        // In-band beats out-of-band regardless of gain size.
+        let cells = vec![mk(2.0, 0.5), mk(0.6, 0.0), mk(0.95, 0.0)];
+        let best = best_calibration_cell(&cells).unwrap();
+        // Ties inside the band resolve towards the band midpoint (+100 %).
+        assert_eq!(best.client_median_gain, 0.95);
     }
 
     #[test]

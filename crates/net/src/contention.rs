@@ -35,6 +35,23 @@ impl ContentionGraph {
         }
     }
 
+    /// Creates the helper with an explicit energy-detect threshold instead of
+    /// the environment's CCA preset — the physical contention model
+    /// (`crate::capture`) sweeps this during the Fig. 16 calibration.  The
+    /// frozen shadowing field is untouched, so two graphs over the same
+    /// `(env, seed)` differ only in where they cut the same received powers.
+    pub fn with_threshold(env: Environment, threshold_dbm: f64, seed: u64) -> Self {
+        ContentionGraph {
+            threshold_dbm,
+            model: ChannelModel::new(env, seed),
+        }
+    }
+
+    /// The energy-detect threshold (dBm) sensing decisions compare against.
+    pub fn threshold_dbm(&self) -> f64 {
+        self.threshold_dbm
+    }
+
     /// Whether a receiver at `rx` senses a single transmitter at `tx`
     /// (large-scale received power above the carrier-sense threshold).
     pub fn can_sense(&self, tx: &Point, rx: &Point) -> bool {

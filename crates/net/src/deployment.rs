@@ -28,6 +28,29 @@ pub fn paper_das_config(env: &Environment, antennas: usize, clients: usize) -> T
     }
 }
 
+/// [`paper_das_config`] with the DAS radius capped for a *dense* multi-AP
+/// floor with the given nominal AP spacing — the PR 3 calibration finding
+/// (see ROADMAP, and `Scenario::topology_config` in `crate::scale`): §7's
+/// 50–75 %-of-coverage rule assumes an isolated AP, and on a floor whose AP
+/// spacing is below the coverage range it pushes antennas past the
+/// neighbouring APs, collapsing per-AP duty cycles under carrier sensing.
+/// Capping the radius at 45 % of the AP spacing keeps every antenna inside
+/// its own cell and restores spatial reuse.
+pub fn paper_das_config_dense(
+    env: &Environment,
+    antennas: usize,
+    clients: usize,
+    ap_spacing_m: f64,
+) -> TopologyConfig {
+    let mut config = paper_das_config(env, antennas, clients);
+    let cell_cap = 0.45 * ap_spacing_m;
+    if config.das_radius_max_m > cell_cap {
+        config.das_radius_max_m = cell_cap;
+        config.das_radius_min_m = config.das_radius_min_m.min(0.55 * cell_cap);
+    }
+    config
+}
+
 /// A CAS and a DAS realisation of the same AP/client layout.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PairedTopology {

@@ -8,6 +8,9 @@
 //! * [`deployment`] — paired CAS/DAS topology generation (same APs and
 //!   clients, different antenna placement) for like-for-like comparisons.
 //! * [`contention`] — carrier-sense graphs between antennas and APs.
+//! * [`capture`] — the physical contention model: energy-detect carrier
+//!   sensing at a configurable threshold plus SINR-based capture at the
+//!   receiver, selectable via `ContentionModel` (Fig. 16 calibration).
 //! * [`spatial_reuse`] — the simultaneous-transmission experiment of §5.3.1
 //!   (Fig. 12).
 //! * [`coverage`] — dead-zone mapping of §5.3.3 (Fig. 13).
@@ -22,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod capture;
 pub mod contention;
 pub mod coverage;
 pub mod deployment;
@@ -31,6 +35,7 @@ pub mod scale;
 pub mod simulator;
 pub mod spatial_reuse;
 
+pub use capture::{ContentionModel, PhysicalConfig};
 pub use metrics::Cdf;
 pub use scale::{AssociationPolicy, FloorGrid, Scenario, SpatialIndex};
 pub use simulator::{NetworkSimConfig, NetworkSimulator, ScanMode, TopologyResult};

@@ -43,9 +43,18 @@ impl SpatialIndex {
     /// The natural cell size is the dominant query radius (the carrier-sense
     /// / interaction range): a radius-`r` query then touches at most a 3×3
     /// cell window.  The cell size is clamped below so a tiny value cannot
-    /// allocate an unbounded grid.
+    /// allocate an unbounded grid, and a non-finite cell size (an infinite
+    /// interaction range, i.e. "no truncation") is sized from the bounding
+    /// box instead: `cols`/`rows` would otherwise collapse to a degenerate
+    /// one-cell grid whose query windows divide ∞/∞ into NaN cell
+    /// coordinates — every lookup then funnels through cell (0, 0) and the
+    /// index silently degrades to a linear scan.
     pub fn new(bounds: Rect, cell_m: f64) -> Self {
-        let cell_m = cell_m.max(1.0);
+        let cell_m = if cell_m.is_finite() {
+            cell_m.max(1.0)
+        } else {
+            bounds.width().max(bounds.height()).max(1.0)
+        };
         let cols = (bounds.width() / cell_m).ceil() as usize + 1;
         let rows = (bounds.height() / cell_m).ceil() as usize + 1;
         SpatialIndex {
@@ -213,6 +222,35 @@ mod tests {
         assert!(index
             .neighbors_within(&Point::new(10.0, 10.0), 5.0)
             .is_empty());
+    }
+
+    #[test]
+    fn infinite_cell_size_is_sized_from_the_bounding_box() {
+        // Regression: an infinite cell size (ScanMode::Indexed with an
+        // infinite interaction range) used to build a degenerate one-cell
+        // grid whose query windows computed ∞/∞ = NaN cell coordinates.
+        // The cell size now falls back to the bounding-box extent, so the
+        // grid stays well-formed and queries keep matching brute force.
+        let region = Rect::new(Point::new(0.0, 0.0), 60.0, 40.0);
+        let mut rng = SimRng::new(9);
+        let pts = random_points(40, &region, &mut rng);
+        for cell in [f64::INFINITY, f64::NAN] {
+            let index = SpatialIndex::from_points(region, cell, &pts);
+            assert!(
+                index.cols >= 2 && index.rows >= 2,
+                "degenerate {}x{} grid for cell {cell}",
+                index.cols,
+                index.rows
+            );
+            for radius in [0.0, 10.0, f64::INFINITY] {
+                let q = Point::new(30.0, 20.0);
+                assert_eq!(
+                    index.neighbors_within(&q, radius),
+                    SpatialIndex::brute_force_within(&pts, &q, radius),
+                    "cell {cell} radius {radius}"
+                );
+            }
+        }
     }
 
     #[test]

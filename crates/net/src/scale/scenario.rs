@@ -7,7 +7,7 @@
 //! `SeedSweep`, and the `enterprise_scaling` bench target emits the series
 //! through the figure sinks.
 
-use crate::deployment::{paper_das_config, PairedTopology};
+use crate::deployment::{paper_das_config_dense, PairedTopology};
 use crate::scale::association::AssociationPolicy;
 use crate::scale::grid::{ClientPlacement, FloorGrid, FloorGridError};
 use crate::simulator::{MacKind, NetworkSimConfig};
@@ -153,13 +153,12 @@ impl Scenario {
     /// in the ROADMAP.  Keeping antennas inside ~45 % of the AP spacing
     /// restores spatial reuse at enterprise density.
     pub fn topology_config(&self) -> TopologyConfig {
-        let mut config = paper_das_config(&self.environment(), 4, self.grid.clients_per_ap);
-        let cell_cap = 0.45 * self.grid.ap_spacing_m;
-        if config.das_radius_max_m > cell_cap {
-            config.das_radius_max_m = cell_cap;
-            config.das_radius_min_m = config.das_radius_min_m.min(0.55 * cell_cap);
-        }
-        config
+        paper_das_config_dense(
+            &self.environment(),
+            4,
+            self.grid.clients_per_ap,
+            self.grid.ap_spacing_m,
+        )
     }
 
     /// Generates one paired CAS/DAS realisation of the scenario.

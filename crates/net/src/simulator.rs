@@ -12,6 +12,7 @@
 //! when the interference geometry allows it — exactly the trade-off §5.4
 //! discusses.
 
+use crate::capture::ContentionModel;
 use crate::contention::ContentionGraph;
 use crate::metrics::Cdf;
 use crate::scale::index::SpatialIndex;
@@ -76,6 +77,10 @@ pub struct NetworkSimConfig {
     pub interaction_range_m: f64,
     /// Neighbourhood scan implementation (results are bit-identical).
     pub scan: ScanMode,
+    /// Contention semantics: the legacy binary carrier-sense graph
+    /// (default, bit-identical to the pre-capture simulator) or the
+    /// physical energy-detect + SINR-capture model (`crate::capture`).
+    pub contention: ContentionModel,
 }
 
 impl NetworkSimConfig {
@@ -90,6 +95,7 @@ impl NetworkSimConfig {
             seed,
             interaction_range_m: f64::INFINITY,
             scan: ScanMode::Indexed,
+            contention: ContentionModel::Graph,
         }
     }
 
@@ -104,6 +110,7 @@ impl NetworkSimConfig {
             seed,
             interaction_range_m: f64::INFINITY,
             scan: ScanMode::Indexed,
+            contention: ContentionModel::Graph,
         }
     }
 
@@ -133,6 +140,11 @@ pub struct TopologyResult {
     pub per_round_streams: Vec<usize>,
     /// Total service time credited to each client (µs), for fairness checks.
     pub per_client_airtime_us: Vec<f64>,
+    /// Capacity delivered to each client, summed over all rounds
+    /// (bit/s/Hz) — the per-client series whose pooled CDF the paper's
+    /// Fig. 16 plots (a client far from its CAS array vs the same client
+    /// near a distributed antenna).
+    pub per_client_capacity: Vec<f64>,
     /// Capacity attributed to each AP, summed over all rounds (bit/s/Hz) —
     /// the per-AP diagnostic behind the Fig. 16 calibration work: it shows
     /// which APs in a large floor are starved by contention vs drowned in
@@ -162,6 +174,16 @@ impl TopologyResult {
     pub fn per_ap_mean_capacity(&self) -> Vec<f64> {
         let rounds = self.per_round_capacity.len().max(1) as f64;
         self.per_ap_capacity.iter().map(|c| c / rounds).collect()
+    }
+
+    /// Mean capacity delivered to each client per round (bit/s/Hz) — zero
+    /// for clients that were never served (or whose every frame collided).
+    pub fn per_client_mean_capacity(&self) -> Vec<f64> {
+        let rounds = self.per_round_capacity.len().max(1) as f64;
+        self.per_client_capacity
+            .iter()
+            .map(|c| c / rounds)
+            .collect()
     }
 
     /// Fraction of rounds each AP managed to transmit in.
@@ -254,7 +276,13 @@ impl NetworkSimulator {
     /// Creates a simulator for a topology.
     pub fn new(topo: Topology, config: NetworkSimConfig) -> Self {
         let mut model = ChannelModel::new(config.env, config.seed);
-        let graph = ContentionGraph::new(config.env, config.seed ^ 0x5151);
+        // For `ContentionModel::Graph` this is exactly the legacy
+        // `ContentionGraph::new(env, seed ^ 0x5151)`; the physical model
+        // swaps in its own threshold / sensing field here and nothing else
+        // in the planning path changes.
+        let graph = config
+            .contention
+            .sensing_graph(config.env, config.seed ^ 0x5151);
         let rng = SimRng::new(config.seed).fork(0xAC);
 
         let num_clients = topo.clients.len();
@@ -345,6 +373,7 @@ impl NetworkSimulator {
         let mut per_round_capacity = Vec::with_capacity(self.config.rounds);
         let mut per_round_streams = Vec::with_capacity(self.config.rounds);
         let mut per_client_airtime = vec![0.0; num_clients];
+        let mut per_client_capacity = vec![0.0; num_clients];
         let mut per_ap_capacity = vec![0.0; num_aps];
         let mut per_ap_active_rounds = vec![0usize; num_aps];
 
@@ -362,6 +391,7 @@ impl NetworkSimulator {
             per_round_streams.push(total_streams);
             for (client, ap, c) in &capacities {
                 per_client_airtime[*client] += DEFAULT_TXOP_US as f64;
+                per_client_capacity[*client] += c;
                 per_ap_capacity[*ap] += c;
             }
             for t in &transmissions {
@@ -384,6 +414,7 @@ impl NetworkSimulator {
             per_round_capacity,
             per_round_streams,
             per_client_airtime_us: per_client_airtime,
+            per_client_capacity,
             per_ap_capacity,
             per_ap_active_rounds,
         }
@@ -415,7 +446,11 @@ impl NetworkSimulator {
             let backlogged: Vec<usize> = (0..own_clients.len()).collect();
 
             // Energy-detection carrier sensing against the transmitters
-            // already on the air, truncated at the interaction range.
+            // already on the air, truncated at the interaction range.  The
+            // contention model only changes which graph (threshold /
+            // sensing field) `self.graph` was built from — the sensing
+            // arithmetic is shared, so both models and both scan modes
+            // visit the surviving antennas in the same order.
             let senses = |antenna: &Point| -> bool {
                 match &active_index {
                     None => {
@@ -514,8 +549,12 @@ impl NetworkSimulator {
             for (stream_idx, &client) in t.clients.iter().enumerate() {
                 let client_pos = &self.topo.clients[client].position;
                 // Desired + intra-AP interference from this transmission.
+                // Intra-AP leakage is tracked separately from cross-AP
+                // interference: the serving AP's precoder knows about the
+                // former, so only the former enters the *expected* SINR the
+                // physical model's rate adaptation sees.
                 let mut signal = 0.0;
-                let mut interference = 0.0;
+                let mut intra_interference = 0.0;
                 for (other_stream, _) in t.clients.iter().enumerate() {
                     let mut amp = midas_linalg::Complex::ZERO;
                     for (row, &k) in t.antenna_idx.iter().enumerate() {
@@ -524,9 +563,10 @@ impl NetworkSimulator {
                     if other_stream == stream_idx {
                         signal = amp.norm_sqr();
                     } else {
-                        interference += amp.norm_sqr();
+                        intra_interference += amp.norm_sqr();
                     }
                 }
+                let mut interference = intra_interference;
                 // Cross-AP interference from the concurrent transmissions in
                 // radio range of this client, in transmission order.
                 let interferers: Vec<usize> = match &interferer_index {
@@ -565,7 +605,25 @@ impl NetworkSimulator {
                 }
                 let noise = ch.ch.noise_mw;
                 let sinr = signal / (noise + interference);
-                out.push((client, t.ap_id, shannon_capacity_bps_hz(sinr)));
+                // Graph model: every transmitted stream earns its Shannon
+                // capacity.  Physical model: the serving AP's rate
+                // adaptation picked an MCS from the SINR its precoding
+                // predicts (intra-AP only — it cannot foresee who else won
+                // the round), and the receiver only captures the frame when
+                // the realized SINR still clears that MCS's threshold;
+                // otherwise the collision costs the whole frame.
+                let capacity = match self.config.contention.physical() {
+                    Some(p) => {
+                        let expected = signal / (noise + intra_interference);
+                        if p.frame_captured_linear(expected, sinr) {
+                            shannon_capacity_bps_hz(sinr)
+                        } else {
+                            0.0
+                        }
+                    }
+                    None => shannon_capacity_bps_hz(sinr),
+                };
+                out.push((client, t.ap_id, capacity));
             }
         }
         out

@@ -9,6 +9,7 @@
 //! additional transmissions AP B and then AP C can support given their
 //! per-antenna carrier sensing.
 
+use crate::capture::ContentionModel;
 use crate::contention::ContentionGraph;
 use crate::deployment::PairedTopology;
 use midas_channel::geometry::Point;
@@ -93,7 +94,21 @@ pub fn spatial_reuse_trial(
     env: &Environment,
     rng: &mut SimRng,
 ) -> SpatialReuseResult {
-    let graph = ContentionGraph::new(*env, rng.next_u64());
+    spatial_reuse_trial_with_model(pair, env, rng, &ContentionModel::Graph)
+}
+
+/// [`spatial_reuse_trial`] under an explicit contention model: the physical
+/// model senses at its own configurable threshold (through its own sensing
+/// field), which is how the Fig. 16 calibration re-runs the §5.3.1
+/// experiment.  `ContentionModel::Graph` reproduces
+/// [`spatial_reuse_trial`] bit-for-bit (same RNG draws, same graph).
+pub fn spatial_reuse_trial_with_model(
+    pair: &PairedTopology,
+    env: &Environment,
+    rng: &mut SimRng,
+    model: &ContentionModel,
+) -> SpatialReuseResult {
+    let graph = model.sensing_graph(*env, rng.next_u64());
     let antennas_per_ap = pair.das.aps[0].num_antennas();
     let first = 1 + rng.uniform_usize(antennas_per_ap);
     let das_streams = count_simultaneous_streams(&pair.das, &graph, first, true);
