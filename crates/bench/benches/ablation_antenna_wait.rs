@@ -1,11 +1,17 @@
 //! Ablation — opportunistic antenna-selection wait window (§3.2.3).
-use midas::experiment::ablation_antenna_wait;
+use midas::sim::ExperimentSpec;
 use midas_bench::{Cell, Figure, Table, BENCH_SEED};
 
 fn main() {
     let mut fig = Figure::new("ablation_antenna_wait").with_seed(BENCH_SEED);
     let mut table = Table::new("wait_window_sweep", &["wait_window_us", "fraction_gaining"]);
-    for (w, frac) in ablation_antenna_wait(&[0, 9, 18, 34, 68, 136], 20_000, BENCH_SEED) {
+    let rows = ExperimentSpec::AntennaWait {
+        windows_us: vec![0, 9, 18, 34, 68, 136],
+        trials: 20_000,
+    }
+    .run(BENCH_SEED)
+    .expect_antenna_wait();
+    for (w, frac) in rows {
         table.row([Cell::from(w), Cell::from(frac)]);
     }
     fig.table(table);

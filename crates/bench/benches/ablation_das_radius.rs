@@ -1,5 +1,5 @@
 //! Ablation — DAS antenna placement radius (§7 recommends 50-75% of coverage).
-use midas::experiment::ablation_das_radius;
+use midas::sim::ExperimentSpec;
 use midas_bench::{Cell, Figure, Table, BENCH_SEED};
 
 fn main() {
@@ -12,14 +12,20 @@ fn main() {
             "median_4x4_capacity_bit_s_hz",
         ],
     );
-    let bands = [
+    let bands = vec![
         (0.05, 0.15),
         (0.2, 0.35),
         (0.35, 0.5),
         (0.5, 0.75),
         (0.75, 0.95),
     ];
-    for ((lo, hi), cap) in ablation_das_radius(&bands, 25, BENCH_SEED) {
+    let rows = ExperimentSpec::DasRadius {
+        fractions: bands,
+        topologies: 25,
+    }
+    .run(BENCH_SEED)
+    .expect_das_radius();
+    for ((lo, hi), cap) in rows {
         table.row([Cell::from(lo), Cell::from(hi), Cell::from(cap)]);
     }
     fig.table(table);

@@ -1,5 +1,5 @@
 //! Ablation — how many antennas each client's packets are tagged with (§3.2.4).
-use midas::experiment::ablation_tag_width;
+use midas::sim::ExperimentSpec;
 use midas_bench::{Cell, Figure, Table, BENCH_SEED};
 
 fn main() {
@@ -8,7 +8,13 @@ fn main() {
         "tag_width_sweep",
         &["tag_width", "mean_3ap_midas_capacity_bit_s_hz"],
     );
-    for (w, cap) in ablation_tag_width(&[1, 2, 3, 4], 6, BENCH_SEED) {
+    let rows = ExperimentSpec::TagWidth {
+        widths: vec![1, 2, 3, 4],
+        topologies: 6,
+    }
+    .run(BENCH_SEED)
+    .expect_tag_width();
+    for (w, cap) in rows {
         table.row([Cell::from(w), Cell::from(cap)]);
     }
     fig.table(table);

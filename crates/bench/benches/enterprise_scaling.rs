@@ -9,7 +9,7 @@
 //! * `MIDAS_ENTERPRISE_TOPOLOGIES` — floor realisations per point (default 5).
 //! * `MIDAS_ENTERPRISE_ROUNDS` — TXOP rounds per realisation (default 10).
 
-use midas::experiment::enterprise_scaling;
+use midas::sim::ExperimentSpec;
 use midas_bench::{Cell, Figure, Table, BENCH_SEED};
 use midas_net::metrics::Cdf;
 use midas_net::scale::Scenario;
@@ -75,7 +75,13 @@ fn main() {
                 eprintln!("unknown scenario '{name}' — skipping");
                 continue;
             };
-            let s = enterprise_scaling(&scenario, topologies, rounds, BENCH_SEED);
+            let s = ExperimentSpec::EnterpriseScaling {
+                scenario,
+                topologies,
+                rounds,
+            }
+            .run(BENCH_SEED)
+            .expect_enterprise();
             let cas = Cdf::new(&s.cas).median();
             let das = Cdf::new(&s.das).median();
             let duty = Cdf::new(&s.das_per_ap_duty);

@@ -1,9 +1,9 @@
 //! Fig. 3 — CDF of the capacity drop caused by naive power scaling (4x4).
-use midas::experiment::fig03_naive_scaling_drop;
+use midas::sim::ExperimentSpec;
 use midas_bench::{Figure, BENCH_SEED};
 
 fn main() {
-    let s = fig03_naive_scaling_drop(60, BENCH_SEED);
+    let s = ExperimentSpec::fig03().run(BENCH_SEED).expect_paired();
     let mut fig = Figure::new("fig03_naive_scaling_drop").with_seed(BENCH_SEED);
     fig.cdf("fig03 capacity drop CAS (bit/s/Hz)", &s.cas);
     fig.cdf("fig03 capacity drop DAS (bit/s/Hz)", &s.das);

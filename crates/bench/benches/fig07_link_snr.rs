@@ -1,10 +1,10 @@
 //! Fig. 7 — CDF of SISO link SNR across clients, CAS vs DAS.
-use midas::experiment::fig07_link_snr;
+use midas::sim::ExperimentSpec;
 use midas_bench::{Figure, BENCH_SEED};
 use midas_net::metrics::Cdf;
 
 fn main() {
-    let s = fig07_link_snr(60, BENCH_SEED);
+    let s = ExperimentSpec::fig07().run(BENCH_SEED).expect_paired();
     let mut fig = Figure::new("fig07_link_snr").with_seed(BENCH_SEED);
     fig.cdf("fig07 link SNR CAS (dB)", &s.cas);
     fig.cdf("fig07 link SNR DAS (dB)", &s.das);

@@ -1,12 +1,14 @@
 //! Fig. 9 — MU-MIMO capacity CDF, Office B, 2x2 and 4x4, CAS vs MIDAS.
-use midas::experiment::fig08_09_capacity;
+use midas::sim::ExperimentSpec;
 use midas_bench::{Figure, BENCH_SEED};
 use midas_channel::EnvironmentKind;
 
 fn main() {
     let mut fig = Figure::new("fig09_capacity_office_b").with_seed(BENCH_SEED);
     for antennas in [2usize, 4] {
-        let s = fig08_09_capacity(EnvironmentKind::OfficeB, antennas, 60, BENCH_SEED);
+        let s = ExperimentSpec::fig08_09(EnvironmentKind::OfficeB, antennas)
+            .run(BENCH_SEED)
+            .expect_paired();
         fig.cdf(
             &format!("fig09 {antennas}x{antennas} CAS capacity (bit/s/Hz)"),
             &s.cas,

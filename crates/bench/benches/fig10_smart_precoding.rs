@@ -1,9 +1,11 @@
 //! Fig. 10 — impact of power-balanced precoding on CAS and DAS (4x4, Office B).
-use midas::experiment::fig10_smart_precoding;
+use midas::sim::ExperimentSpec;
 use midas_bench::{Figure, BENCH_SEED};
 
 fn main() {
-    let s = fig10_smart_precoding(60, BENCH_SEED);
+    let s = ExperimentSpec::fig10()
+        .run(BENCH_SEED)
+        .expect_smart_precoding();
     let mut fig = Figure::new("fig10_smart_precoding").with_seed(BENCH_SEED);
     fig.cdf("fig10 CAS w/o MIDAS precoding", &s.cas_naive);
     fig.cdf("fig10 CAS w/ MIDAS precoding", &s.cas_smart);

@@ -1,5 +1,5 @@
 //! Fig. 11 — MIDAS precoder vs numerically optimal precoder, per topology.
-use midas::experiment::fig11_optimal_comparison;
+use midas::sim::ExperimentSpec;
 use midas_bench::{Cell, Figure, Table, BENCH_SEED};
 
 fn main() {
@@ -12,7 +12,7 @@ fn main() {
             true,
         ),
     ] {
-        let s = fig11_optimal_comparison(20, stale, BENCH_SEED);
+        let s = ExperimentSpec::fig11(stale).run(BENCH_SEED).expect_paired();
         let mut table = Table::new(
             &format!("fig11_{slug}"),
             &["topology", "midas_bit_s_hz", "optimal_bit_s_hz"],

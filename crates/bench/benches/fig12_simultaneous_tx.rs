@@ -1,10 +1,10 @@
 //! Fig. 12 — CDF of the MIDAS/CAS ratio of simultaneous transmissions (3 APs).
-use midas::experiment::fig12_simultaneous_tx;
+use midas::sim::ExperimentSpec;
 use midas_bench::{Figure, BENCH_SEED};
 use midas_net::metrics::Cdf;
 
 fn main() {
-    let ratios = fig12_simultaneous_tx(30, BENCH_SEED);
+    let ratios = ExperimentSpec::fig12().run(BENCH_SEED).expect_ratios();
     let mut fig = Figure::new("fig12_simultaneous_tx").with_seed(BENCH_SEED);
     fig.cdf("fig12 simultaneous-transmission ratio MIDAS/CAS", &ratios);
     let below = Cdf::new(&ratios).fraction_below(0.999);

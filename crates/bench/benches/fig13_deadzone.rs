@@ -1,9 +1,9 @@
 //! Fig. 13 / §5.3.3 — dead-zone comparison between CAS and DAS deployments.
-use midas::experiment::fig13_deadzones;
+use midas::sim::ExperimentSpec;
 use midas_bench::{Cell, Figure, Table, BENCH_SEED};
 
 fn main() {
-    let results = fig13_deadzones(10, BENCH_SEED);
+    let results = ExperimentSpec::fig13().run(BENCH_SEED).expect_deadzones();
     let mut fig = Figure::new("fig13_deadzone").with_seed(BENCH_SEED);
     let mut table = Table::new(
         "fig13_deadzones",

@@ -1,9 +1,9 @@
 //! Fig. 14 — virtual packet tagging vs random client selection (2 of 4 antennas free).
-use midas::experiment::fig14_packet_tagging;
+use midas::sim::ExperimentSpec;
 use midas_bench::{Figure, BENCH_SEED};
 
 fn main() {
-    let s = fig14_packet_tagging(60, BENCH_SEED);
+    let s = ExperimentSpec::fig14().run(BENCH_SEED).expect_paired();
     let mut fig = Figure::new("fig14_packet_tagging").with_seed(BENCH_SEED);
     fig.cdf("fig14 random client selection (bit/s/Hz)", &s.cas);
     fig.cdf("fig14 tagging-driven selection (bit/s/Hz)", &s.das);

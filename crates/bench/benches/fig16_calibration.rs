@@ -15,9 +15,8 @@
 //! * `MIDAS_CALIBRATION_TOPOLOGIES` — topologies per cell (default 15).
 //! * `MIDAS_CALIBRATION_ROUNDS` — TXOP rounds per topology (default 10).
 
-use midas::experiment::{
-    best_calibration_cell, end_to_end_series, fig16_calibration, CalibrationGrid, FIG16_GAIN_BAND,
-};
+use midas::experiment::{best_calibration_cell, CalibrationGrid, FIG16_GAIN_BAND};
+use midas::sim::ExperimentSpec;
 use midas_bench::{Cell, Figure, Table, BENCH_SEED};
 use midas_net::capture::{ContentionModel, PhysicalConfig};
 use midas_net::metrics::{relative_gain, Cdf};
@@ -58,7 +57,13 @@ fn main() {
     let topologies = env_usize("MIDAS_CALIBRATION_TOPOLOGIES", 15).max(1);
     let rounds = env_usize("MIDAS_CALIBRATION_ROUNDS", 10).max(1);
 
-    let cells = fig16_calibration(&grid, topologies, rounds, BENCH_SEED);
+    let cells = ExperimentSpec::Fig16Calibration {
+        grid,
+        topologies,
+        rounds,
+    }
+    .run(BENCH_SEED)
+    .expect_calibration();
 
     let mut fig = Figure::new("fig16_calibration").with_seed(BENCH_SEED);
     let mut table = Table::new(
@@ -93,7 +98,14 @@ fn main() {
     fig.table(table);
 
     // Reference point: the legacy binary graph on the same topologies.
-    let graph = end_to_end_series(true, topologies, rounds, BENCH_SEED, ContentionModel::Graph);
+    let graph = ExperimentSpec::EndToEnd {
+        eight_aps: true,
+        topologies,
+        rounds,
+        contention: ContentionModel::Graph,
+    }
+    .run(BENCH_SEED)
+    .expect_end_to_end();
     fig.note(&format!(
         "legacy ContentionModel::Graph: net gain {:+.1} %, client median gain {:+.1} % \
          (the pre-calibration Fig. 16 state)",

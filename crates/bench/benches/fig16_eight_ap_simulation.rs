@@ -4,19 +4,17 @@
 //! (`PhysicalConfig::calibrated()`, promoted by the `fig16_calibration`
 //! sweep).  The paper's headline (> +150 % median gain) is read on the
 //! per-client capacity CDF; the network-capacity series is also emitted.
-use midas::experiment::end_to_end_series;
+use midas::sim::ExperimentSpec;
 use midas_bench::{Figure, BENCH_SEED};
 use midas_net::capture::ContentionModel;
 
 fn main() {
-    let graph = end_to_end_series(true, 15, 10, BENCH_SEED, ContentionModel::Graph);
-    let physical = end_to_end_series(
-        true,
-        15,
-        10,
-        BENCH_SEED,
-        ContentionModel::physical_calibrated(),
-    );
+    let graph = ExperimentSpec::fig16(ContentionModel::Graph)
+        .run(BENCH_SEED)
+        .expect_end_to_end();
+    let physical = ExperimentSpec::fig16(ContentionModel::physical_calibrated())
+        .run(BENCH_SEED)
+        .expect_end_to_end();
 
     let mut fig = Figure::new("fig16_eight_ap_simulation").with_seed(BENCH_SEED);
     fig.cdf("fig16 CAS network capacity (bit/s/Hz)", &graph.network.cas);

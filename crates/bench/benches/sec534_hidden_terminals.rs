@@ -1,9 +1,11 @@
 //! §5.3.4 — hidden-terminal spots removed by the DAS deployment.
-use midas::experiment::sec534_hidden_terminals;
+use midas::sim::ExperimentSpec;
 use midas_bench::{Cell, Figure, Table, BENCH_SEED};
 
 fn main() {
-    let results = sec534_hidden_terminals(10, BENCH_SEED);
+    let results = ExperimentSpec::sec534()
+        .run(BENCH_SEED)
+        .expect_hidden_terminals();
     let mut fig = Figure::new("sec534_hidden_terminals").with_seed(BENCH_SEED);
     let mut table = Table::new(
         "sec534_hidden_terminals",

@@ -1,15 +1,17 @@
 //! Experiment runners — one per table/figure of the paper's evaluation (§5).
 //!
-//! Each function regenerates the data series behind one figure; the benchmark
-//! harness in `crates/bench` calls these and prints the series plus the
-//! summary statistic the paper quotes.  All runners are deterministic in the
-//! supplied seed and execute through the shared [`SeedSweep`] engine
-//! (`midas::runner`), which fans independent per-topology trials across a
-//! worker pool while collecting samples in trial order — so every series is
-//! bit-identical at any thread count (`MIDAS_THREADS`).
+//! Each function regenerates the data series behind one figure.  All
+//! runners are deterministic in the supplied seed and execute through the
+//! session layer ([`crate::sim`]): the multi-AP experiments compose a
+//! [`PairedRecipe`] / [`Scenario`] topology source into a [`Session`] and
+//! fan trials through the shared [`SeedSweep`] engine, so every series is
+//! bit-identical at any thread count (`MIDAS_THREADS`).  Callers should
+//! prefer driving these through [`crate::sim::ExperimentSpec`] values —
+//! the functions remain as the implementation layer the specs dispatch to.
 
 use crate::config::SystemConfig;
 use crate::runner::SeedSweep;
+use crate::sim::{PairedRecipe, Session, SessionBuilder, SessionTrial};
 use crate::system::SingleApSystem;
 use midas_channel::geometry::{Point, Rect};
 use midas_channel::topology::{single_ap, TopologyConfig};
@@ -20,50 +22,18 @@ use midas_mac::tagging::TagTable;
 use midas_net::capture::{ContentionModel, PhysicalConfig};
 use midas_net::contention::ContentionGraph;
 use midas_net::coverage::{compare_deadzones, DeadzoneComparison};
-use midas_net::deployment::{paper_das_config, paper_das_config_dense, PairedTopology};
 use midas_net::hidden_terminal::{HiddenTerminalComparison, HiddenTerminalScenario};
 use midas_net::scale::scenario::INTERACTION_MARGIN_DB;
 use midas_net::scale::Scenario;
-use midas_net::simulator::{MacKind, NetworkSimConfig, NetworkSimulator};
-use midas_net::spatial_reuse::spatial_reuse_trial;
+use midas_net::simulator::MacKind;
+use midas_net::spatial_reuse;
 use midas_phy::precoder::{
     make_precoder, NaiveScaledPrecoder, OptimalPrecoder, PowerBalancedPrecoder, Precoder,
     PrecoderKind, ZfbfPrecoder,
 };
 use midas_phy::sounding::{SoundingConfig, SoundingProcess};
 
-/// Paired per-topology samples of a CAS metric and a DAS/MIDAS metric.
-#[derive(Debug, Clone, Default)]
-pub struct PairedSamples {
-    /// CAS (baseline) samples, one per topology.
-    pub cas: Vec<f64>,
-    /// DAS / MIDAS samples, one per topology.
-    pub das: Vec<f64>,
-}
-
-impl PairedSamples {
-    /// Collects per-trial `(cas, das)` pairs, in trial order.
-    pub fn from_pairs(pairs: impl IntoIterator<Item = (f64, f64)>) -> Self {
-        let mut out = PairedSamples::default();
-        for (cas, das) in pairs {
-            out.cas.push(cas);
-            out.das.push(das);
-        }
-        out
-    }
-
-    /// Concatenates per-trial `(cas, das)` sample groups, in trial order —
-    /// for runners that emit several samples per topology (e.g. one per
-    /// client link).
-    pub fn from_groups(groups: impl IntoIterator<Item = (Vec<f64>, Vec<f64>)>) -> Self {
-        let mut out = PairedSamples::default();
-        for (cas, das) in groups {
-            out.cas.extend(cas);
-            out.das.extend(das);
-        }
-        out
-    }
-}
+pub use crate::sim::{PairedSamples, SessionSeries as EndToEndSeries};
 
 /// Fig. 3 — CDF of the capacity *drop* caused by naïve per-antenna power
 /// scaling (unconstrained ZFBF capacity minus naïvely-scaled capacity) for
@@ -86,38 +56,44 @@ pub fn fig03_naive_scaling_drop(topologies: usize, seed: u64) -> PairedSamples {
 /// used once).
 pub fn fig07_link_snr(topologies: usize, seed: u64) -> PairedSamples {
     let env = Environment::office_a();
-    let sweep = SeedSweep::new(seed).with_mix(6151, 3);
-    PairedSamples::from_groups(sweep.run(topologies, &|_t: usize, s: u64| {
-        let mut rng = SimRng::new(s);
-        let cfg = TopologyConfig::das(4, 4);
-        let pair = PairedTopology::single_ap(&cfg, 40.0, &mut rng);
-        let mut model = ChannelModel::new(env, s);
-        let mut cas = Vec::new();
-        let mut das = Vec::new();
-        for (topo, sink) in [(&pair.cas, &mut cas), (&pair.das, &mut das)] {
-            let clients = topo.clients_of(0);
-            let ch = model.realize(&topo.aps[0], &clients);
-            // Greedy mapping: repeatedly take the strongest remaining
-            // (client, antenna) pair, then exclude both.
-            let mut free_clients: Vec<usize> = (0..clients.len()).collect();
-            let mut free_antennas: Vec<usize> = (0..4).collect();
-            while !free_clients.is_empty() && !free_antennas.is_empty() {
-                let mut best = (free_clients[0], free_antennas[0], f64::NEG_INFINITY);
-                for &c in &free_clients {
-                    for &a in &free_antennas {
-                        let snr = ch.siso_snr_db(c, a);
-                        if snr > best.2 {
-                            best = (c, a, snr);
+    let session = SessionBuilder::new(PairedRecipe::single_ap(
+        env,
+        TopologyConfig::das(4, 4),
+        40.0,
+    ))
+    .seed_mix(6151, 3)
+    .build();
+    PairedSamples::from_groups(
+        session.run_trials(topologies, seed, &|trial: &SessionTrial<'_>| {
+            let pair = trial.pair();
+            let mut model = ChannelModel::new(env, trial.seed());
+            let mut cas = Vec::new();
+            let mut das = Vec::new();
+            for (topo, sink) in [(&pair.cas, &mut cas), (&pair.das, &mut das)] {
+                let clients = topo.clients_of(0);
+                let ch = model.realize(&topo.aps[0], &clients);
+                // Greedy mapping: repeatedly take the strongest remaining
+                // (client, antenna) pair, then exclude both.
+                let mut free_clients: Vec<usize> = (0..clients.len()).collect();
+                let mut free_antennas: Vec<usize> = (0..4).collect();
+                while !free_clients.is_empty() && !free_antennas.is_empty() {
+                    let mut best = (free_clients[0], free_antennas[0], f64::NEG_INFINITY);
+                    for &c in &free_clients {
+                        for &a in &free_antennas {
+                            let snr = ch.siso_snr_db(c, a);
+                            if snr > best.2 {
+                                best = (c, a, snr);
+                            }
                         }
                     }
+                    sink.push(best.2);
+                    free_clients.retain(|&x| x != best.0);
+                    free_antennas.retain(|&x| x != best.1);
                 }
-                sink.push(best.2);
-                free_clients.retain(|&x| x != best.0);
-                free_antennas.retain(|&x| x != best.1);
             }
-        }
-        (cas, das)
-    }))
+            (cas, das)
+        }),
+    )
 }
 
 /// Figs. 8 and 9 — MU-MIMO sum-capacity CDF (bit/s/Hz), CAS (baseline
@@ -236,14 +212,15 @@ pub fn fig11_optimal_comparison(topologies: usize, stale_csi: bool, seed: u64) -
 /// 3-AP topologies.  Each trial derives its own contention RNG from the
 /// mixed trial seed, so the series is independent of execution order.
 pub fn fig12_simultaneous_tx(topologies: usize, seed: u64) -> Vec<f64> {
-    let env = Environment::office_a();
-    let cfg = paper_das_config(&env, 4, 4);
-    let sweep = SeedSweep::new(seed).with_mix(1409, 31);
-    sweep.run(topologies, &|_t: usize, s: u64| {
-        let mut trng = SimRng::new(s);
-        let pair = PairedTopology::three_ap(&cfg, &mut trng);
-        let mut reuse_rng = SimRng::new(s ^ 0x5EED);
-        spatial_reuse_trial(&pair, &env, &mut reuse_rng).ratio()
+    let session = SessionBuilder::new(PairedRecipe::three_ap_paper())
+        .seed_mix(1409, 31)
+        .build();
+    // Single source of truth: the reuse analysis senses in the same
+    // environment the recipe deploys in.
+    let env = session.source().environment();
+    session.run_trials(topologies, seed, &|trial: &SessionTrial<'_>| {
+        let mut reuse_rng = SimRng::new(trial.seed() ^ 0x5EED);
+        spatial_reuse::trial(trial.pair(), &env, &mut reuse_rng, &ContentionModel::Graph).ratio()
     })
 }
 
@@ -251,16 +228,22 @@ pub fn fig12_simultaneous_tx(topologies: usize, seed: u64) -> Vec<f64> {
 pub fn fig13_deadzones(deployments: usize, seed: u64) -> Vec<DeadzoneComparison> {
     let env = Environment::office_b();
     let radius = env.coverage_range_m() * 0.9;
-    let sweep = SeedSweep::new(seed).with_mix(947, 41);
-    sweep.run(deployments, &|d: usize, s: u64| {
-        let mut rng = SimRng::new(s);
-        let cfg = TopologyConfig {
-            das_radius_min_m: 0.4 * radius,
-            das_radius_max_m: 0.7 * radius,
-            ..TopologyConfig::das(4, 4)
-        };
-        let pair = PairedTopology::single_ap(&cfg, 3.0 * radius, &mut rng);
-        compare_deadzones(&pair, &env, radius, 0.5, seed ^ (d as u64 * 947 + 43))
+    let cfg = TopologyConfig {
+        das_radius_min_m: 0.4 * radius,
+        das_radius_max_m: 0.7 * radius,
+        ..TopologyConfig::das(4, 4)
+    };
+    let session = SessionBuilder::new(PairedRecipe::single_ap(env, cfg, 3.0 * radius))
+        .seed_mix(947, 41)
+        .build();
+    session.run_trials(deployments, seed, &|trial: &SessionTrial<'_>| {
+        compare_deadzones(
+            trial.pair(),
+            &env,
+            radius,
+            0.5,
+            seed ^ (trial.index() as u64 * 947 + 43),
+        )
     })
 }
 
@@ -271,7 +254,7 @@ pub fn sec534_hidden_terminals(deployments: usize, seed: u64) -> Vec<HiddenTermi
     let sweep = SeedSweep::new(seed).with_mix(523, 89);
     sweep.run(deployments, &|_d: usize, s: u64| {
         let mut rng = SimRng::new(s);
-        scenario.compare(1.0, &mut rng)
+        scenario.comparison(1.0, &mut rng, &ContentionModel::Graph)
     })
 }
 
@@ -335,20 +318,28 @@ pub fn fig14_packet_tagging(topologies: usize, seed: u64) -> PairedSamples {
     }))
 }
 
-/// Figs. 15 / 16 — end-to-end network capacity of CAS vs MIDAS over random
-/// multi-AP topologies (3-AP testbed layout or 8-AP large-scale layout),
-/// under the legacy binary contention graph.
+/// Deprecated alias: the network series of [`end_to_end_series`] under the
+/// legacy binary contention graph.
+#[deprecated(
+    since = "0.2.0",
+    note = "drive `midas::sim::ExperimentSpec::EndToEnd { contention: ContentionModel::Graph, .. }` \
+            or call `end_to_end_series(..).network`"
+)]
 pub fn end_to_end_capacity(
     eight_aps: bool,
     topologies: usize,
     rounds: usize,
     seed: u64,
 ) -> PairedSamples {
-    end_to_end_capacity_with_model(eight_aps, topologies, rounds, seed, ContentionModel::Graph)
+    end_to_end_series(eight_aps, topologies, rounds, seed, ContentionModel::Graph).network
 }
 
-/// [`end_to_end_capacity`] under an explicit contention model: the
-/// per-topology network-capacity series of [`end_to_end_series`].
+/// Deprecated alias: the network series of [`end_to_end_series`].
+#[deprecated(
+    since = "0.2.0",
+    note = "drive `midas::sim::ExperimentSpec::EndToEnd` or call \
+            `end_to_end_series(..).network` — the single model-parameterised entry point"
+)]
 pub fn end_to_end_capacity_with_model(
     eight_aps: bool,
     topologies: usize,
@@ -359,25 +350,31 @@ pub fn end_to_end_capacity_with_model(
     end_to_end_series(eight_aps, topologies, rounds, seed, contention).network
 }
 
-/// Full result of the Figs. 15 / 16 experiment under one contention model.
-#[derive(Debug, Clone, Default)]
-pub struct EndToEndSeries {
-    /// Mean network capacity per topology (bit/s/Hz) — the aggregate
-    /// series.
-    pub network: PairedSamples,
-    /// Mean capacity delivered to each client per round (bit/s/Hz), pooled
-    /// across topologies and paired by client (same positions in both
-    /// deployments).  The CDF of these is the paper's Fig. 16 comparison:
-    /// a client far from its co-located array vs the same client near a
-    /// distributed antenna.
-    pub per_client: PairedSamples,
+/// The [`Session`] behind the Figs. 15 / 16 experiment: the paper layout
+/// recipe ([`PairedRecipe::eight_ap_paper`] / [`three_ap_paper`]) composed
+/// with the given contention model at the historical seed mix.
+///
+/// [`three_ap_paper`]: PairedRecipe::three_ap_paper
+pub fn end_to_end_session(eight_aps: bool, rounds: usize, contention: ContentionModel) -> Session {
+    let recipe = if eight_aps {
+        PairedRecipe::eight_ap_paper()
+    } else {
+        PairedRecipe::three_ap_paper()
+    };
+    SessionBuilder::new(recipe)
+        .rounds(rounds)
+        .contention(contention)
+        .seed_mix(193, 61)
+        .build()
 }
 
-/// Figs. 15 / 16 under an explicit contention model.  Both MACs run the
-/// same model — the paper's testbed CAS is subject to the same physical
-/// carrier sensing and capture effects as MIDAS, only with co-located
-/// vantage points.  `ContentionModel::Graph` reproduces
-/// [`end_to_end_capacity`]'s network series bit-for-bit.
+/// Figs. 15 / 16 — end-to-end network capacity of CAS vs MIDAS over random
+/// multi-AP topologies (3-AP testbed layout or 8-AP large-scale layout)
+/// under an explicit contention model; the single model-parameterised
+/// entry point ([`ContentionModel::Graph`] reproduces the legacy
+/// binary-graph series bit-for-bit).  Both MACs run the same model — the
+/// paper's testbed CAS is subject to the same physical carrier sensing and
+/// capture effects as MIDAS, only with co-located vantage points.
 pub fn end_to_end_series(
     eight_aps: bool,
     topologies: usize,
@@ -385,53 +382,7 @@ pub fn end_to_end_series(
     seed: u64,
     contention: ContentionModel,
 ) -> EndToEndSeries {
-    let env = if eight_aps {
-        Environment::open_plan()
-    } else {
-        Environment::office_a()
-    };
-    let cfg = if eight_aps {
-        // The §5.5 layout packs 8 APs into 60 × 60 m (nominal spacing
-        // √(area/AP) ≈ 21 m, well under the ~26 m coverage range), so the
-        // PR 3 dense-floor cap applies: uncapped §7 placement pushes DAS
-        // antennas into the neighbouring cells and collapses MIDAS duty
-        // cycles (see ROADMAP, Fig. 16 item).
-        paper_das_config_dense(&env, 4, 4, (60.0f64 * 60.0 / 8.0).sqrt())
-    } else {
-        paper_das_config(&env, 4, 4)
-    };
-    let sweep = SeedSweep::new(seed).with_mix(193, 61);
-    let rows = sweep.run(topologies, &|_t: usize, s: u64| {
-        let mut rng = SimRng::new(s);
-        let pair = if eight_aps {
-            PairedTopology::eight_ap(&cfg, &env, &mut rng)
-        } else {
-            PairedTopology::three_ap(&cfg, &mut rng)
-        };
-        let mut midas_cfg = NetworkSimConfig::midas(env, s);
-        let mut cas_cfg = NetworkSimConfig::cas(env, s);
-        midas_cfg.rounds = rounds;
-        cas_cfg.rounds = rounds;
-        midas_cfg.contention = contention;
-        cas_cfg.contention = contention;
-        let cas = NetworkSimulator::new(pair.cas, cas_cfg).run();
-        let das = NetworkSimulator::new(pair.das, midas_cfg).run();
-        (
-            (cas.mean_capacity(), das.mean_capacity()),
-            (
-                cas.per_client_mean_capacity(),
-                das.per_client_mean_capacity(),
-            ),
-        )
-    });
-    let mut out = EndToEndSeries::default();
-    for (net, clients) in rows {
-        out.network.cas.push(net.0);
-        out.network.das.push(net.1);
-        out.per_client.cas.extend(clients.0);
-        out.per_client.das.extend(clients.1);
-    }
-    out
+    end_to_end_session(eight_aps, rounds, contention).run(topologies, seed)
 }
 
 /// The Fig. 16 headline band the calibration scores against: the median
@@ -609,26 +560,26 @@ pub fn enterprise_scaling(
     rounds: usize,
     seed: u64,
 ) -> EnterpriseScalingSeries {
-    let sweep = SeedSweep::new(seed).with_mix(1021, 101);
-    let rows = sweep.run(topologies, &|_t: usize, s: u64| {
-        let pair = scenario
-            .build(s)
-            .unwrap_or_else(|e| panic!("scenario {} failed to build: {e}", scenario.name()));
-        let env = scenario.environment();
+    let env = scenario.environment();
+    let session = SessionBuilder::new(*scenario)
+        .rounds(rounds)
+        .seed_mix(1021, 101)
+        .build();
+    let rows = session.run_trials(topologies, seed, &|trial: &SessionTrial<'_>| {
         // Structural diagnostic: range-limited AP contention degree of the
         // DAS deployment (same frozen shadowing field as the simulator).
-        let graph = ContentionGraph::new(env, s ^ 0x5151);
-        let adjacency =
-            graph.ap_adjacency_indexed(&pair.das, env.interaction_range_m(INTERACTION_MARGIN_DB));
+        let graph = ContentionGraph::new(env, trial.seed() ^ 0x5151);
+        let adjacency = graph.ap_adjacency_indexed(
+            &trial.pair().das,
+            env.interaction_range_m(INTERACTION_MARGIN_DB),
+        );
         let degree = adjacency
             .iter()
             .map(|row| row.iter().filter(|&&x| x).count())
             .sum::<usize>() as f64
             / adjacency.len().max(1) as f64;
-        let cas =
-            NetworkSimulator::new(pair.cas, scenario.sim_config(MacKind::Cas, rounds, s)).run();
-        let das =
-            NetworkSimulator::new(pair.das, scenario.sim_config(MacKind::Midas, rounds, s)).run();
+        let cas = trial.simulate(MacKind::Cas);
+        let das = trial.simulate(MacKind::Midas);
         (
             cas.mean_capacity(),
             das.mean_capacity(),
@@ -655,21 +606,16 @@ pub fn enterprise_scaling(
 /// Ablation — tag-width sweep (§3.2.4 discusses 1, 2 and "all" antennas per
 /// client): mean end-to-end capacity of the 3-AP MIDAS network per tag width.
 pub fn ablation_tag_width(widths: &[usize], topologies: usize, seed: u64) -> Vec<(usize, f64)> {
-    let env = Environment::office_a();
-    let cfg = paper_das_config(&env, 4, 4);
-    let sweep = SeedSweep::new(seed).with_mix(389, 71);
     widths
         .iter()
         .map(|&w| {
-            let caps = sweep.run(topologies, &|_t: usize, s: u64| {
-                let mut rng = SimRng::new(s);
-                let pair = PairedTopology::three_ap(&cfg, &mut rng);
-                let mut sim_cfg = NetworkSimConfig::midas(env, s);
-                sim_cfg.tag_width = w;
-                sim_cfg.rounds = 10;
-                NetworkSimulator::new(pair.das, sim_cfg)
-                    .run()
-                    .mean_capacity()
+            let session = SessionBuilder::new(PairedRecipe::three_ap_paper())
+                .rounds(10)
+                .tag_width(w)
+                .seed_mix(389, 71)
+                .build();
+            let caps = session.run_trials(topologies, seed, &|trial: &SessionTrial<'_>| {
+                trial.simulate(MacKind::Midas).mean_capacity()
             });
             (w, caps.iter().sum::<f64>() / topologies as f64)
         })
@@ -686,21 +632,21 @@ pub fn ablation_das_radius(
 ) -> Vec<((f64, f64), f64)> {
     let env = Environment::office_a();
     let range = env.coverage_range_m();
-    let sweep = SeedSweep::new(seed).with_mix(271, 83);
     fractions
         .iter()
         .map(|&(lo, hi)| {
-            let caps = sweep.run(topologies, &|_t: usize, s: u64| {
-                let mut rng = SimRng::new(s);
-                let cfg = TopologyConfig {
-                    das_radius_min_m: lo * range,
-                    das_radius_max_m: hi * range,
-                    ..TopologyConfig::das(4, 4)
-                };
-                let pair = PairedTopology::single_ap(&cfg, 3.0 * range, &mut rng);
-                let mut model = ChannelModel::new(env, s);
-                let clients = pair.das.clients_of(0);
-                let ch = model.realize(&pair.das.aps[0], &clients);
+            let cfg = TopologyConfig {
+                das_radius_min_m: lo * range,
+                das_radius_max_m: hi * range,
+                ..TopologyConfig::das(4, 4)
+            };
+            let session = SessionBuilder::new(PairedRecipe::single_ap(env, cfg, 3.0 * range))
+                .seed_mix(271, 83)
+                .build();
+            let caps = session.run_trials(topologies, seed, &|trial: &SessionTrial<'_>| {
+                let mut model = ChannelModel::new(env, trial.seed());
+                let clients = trial.pair().das.clients_of(0);
+                let ch = model.realize(&trial.pair().das.aps[0], &clients);
                 PowerBalancedPrecoder::default()
                     .precode_channel(&ch)
                     .sum_capacity
@@ -807,20 +753,23 @@ mod tests {
     fn end_to_end_midas_beats_cas_on_three_aps() {
         // Per-topology variance is high at this small scale, so aggregate a
         // handful of topologies; the bench runs the full-size version.
-        let s = end_to_end_capacity(false, 6, 10, 100);
+        let s = end_to_end_series(false, 6, 10, 100, ContentionModel::Graph).network;
         let das: f64 = s.das.iter().sum();
         let cas: f64 = s.cas.iter().sum();
         assert!(das > cas, "MIDAS {das:.1} vs CAS {cas:.1}");
     }
 
     #[test]
-    fn end_to_end_series_network_matches_capacity_runner() {
-        // `end_to_end_capacity` is the network view of `end_to_end_series`;
+    #[allow(deprecated)]
+    fn deprecated_capacity_shims_match_the_series_runner() {
+        // The migration shims are the network view of `end_to_end_series`;
         // the per-client series must align with topologies × clients.
         let series = end_to_end_series(false, 3, 5, 7, ContentionModel::Graph);
         let capacity = end_to_end_capacity(false, 3, 5, 7);
         assert_eq!(series.network.cas, capacity.cas);
         assert_eq!(series.network.das, capacity.das);
+        let with_model = end_to_end_capacity_with_model(false, 3, 5, 7, ContentionModel::Graph);
+        assert_eq!(series.network.cas, with_model.cas);
         assert_eq!(series.per_client.cas.len(), 3 * 12);
         assert_eq!(series.per_client.das.len(), 3 * 12);
         assert!(series.per_client.das.iter().all(|c| c.is_finite()));

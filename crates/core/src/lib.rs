@@ -14,9 +14,13 @@
 //!    (§3.2.4–3.2.5) — `midas_mac`.
 //!
 //! This crate assembles those pieces into a small, high-level API
-//! ([`SingleApSystem`], [`config::SystemConfig`]) and into one experiment
-//! runner per table/figure of the paper's evaluation ([`experiment`]), which
-//! the benchmark harness (`crates/bench`) and the examples call.
+//! ([`SingleApSystem`], [`config::SystemConfig`]) and into the composable
+//! session layer ([`sim`]): topology sources, paired experiment sessions,
+//! pluggable traffic models, streaming observers, and one declarative
+//! [`sim::ExperimentSpec`] per table/figure of the paper's evaluation,
+//! which the benchmark harness (`crates/bench`) and the examples drive.
+//! The per-figure runner functions live in [`experiment`] and execute
+//! through the session machinery.
 //!
 //! ## Quick start
 //!
@@ -40,15 +44,20 @@
 pub mod config;
 pub mod experiment;
 pub mod runner;
+pub mod sim;
 pub mod system;
 
 pub use config::SystemConfig;
 pub use runner::SeedSweep;
+pub use sim::{ExperimentOutput, ExperimentSpec, Session, SessionBuilder};
 pub use system::{DownlinkOutcome, SingleApSystem};
 
 /// Convenience re-exports for users of the library.
 pub mod prelude {
     pub use crate::config::SystemConfig;
+    pub use crate::sim::{
+        ExperimentOutput, ExperimentSpec, PairedRecipe, Session, SessionBuilder, TopologySource,
+    };
     pub use crate::system::{DownlinkOutcome, SingleApSystem};
     pub use midas_channel::{DeploymentKind, Environment, EnvironmentKind, SimRng};
     pub use midas_net::metrics::Cdf;

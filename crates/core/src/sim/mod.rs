@@ -1,0 +1,68 @@
+//! The session API: one composable entry point for every MIDAS experiment.
+//!
+//! Four PRs of per-figure free functions (`fig03_…` … `enterprise_scaling`,
+//! plus duplicated `…_with_model` variants) are replaced by three
+//! composable layers:
+//!
+//! 1. **[`TopologySource`]** — where paired CAS/DAS deployments come from:
+//!    the paper's [`PairedRecipe`] layouts (single-AP, 3-AP testbed, 8-AP
+//!    large-scale), the enterprise [`Scenario`](midas_net::scale::Scenario)
+//!    library, or a custom impl.
+//! 2. **[`SessionBuilder`] → [`Session`]** — composes a source with a
+//!    [`ContentionModel`], a [`TrafficKind`] workload, round count, seed
+//!    mix and worker count, then fans paired trials through the
+//!    deterministic `SeedSweep` engine.  Results stream through the
+//!    [`Observer`] trait: [`Accumulate`] rebuilds the full
+//!    [`TopologyResult`](midas_net::simulator::TopologyResult) bit for
+//!    bit, [`RunningSummary`] keeps fixed-size sums so long-horizon
+//!    64-AP / 512-client runs hold peak memory flat in the round count.
+//! 3. **[`ExperimentSpec`]** — every paper figure (and the beyond-paper
+//!    enterprise sweep) as a declarative value with a typed
+//!    [`ExperimentOutput`]; the benchmark harness and examples drive these
+//!    instead of free functions.
+//!
+//! ## Migration from the free-function zoo
+//!
+//! | Old free function | Session-API replacement |
+//! |---|---|
+//! | `experiment::fig03_naive_scaling_drop(n, seed)` | `ExperimentSpec::NaiveScalingDrop { topologies: n }.run(seed)` |
+//! | `experiment::fig08_09_capacity(env, k, n, seed)` | `ExperimentSpec::MuMimoCapacity { environment: env, antennas: k, topologies: n }.run(seed)` |
+//! | `experiment::fig12_simultaneous_tx(n, seed)` | `ExperimentSpec::SimultaneousTx { topologies: n }.run(seed)` |
+//! | `experiment::end_to_end_capacity(eight, n, r, seed)` | `ExperimentSpec::EndToEnd { eight_aps: eight, topologies: n, rounds: r, contention: ContentionModel::Graph }.run(seed)` |
+//! | `experiment::end_to_end_capacity_with_model(…, model)` | same spec with `contention: model` |
+//! | `spatial_reuse_trial(_with_model)` | `midas_net::spatial_reuse::trial(pair, env, rng, &model)` |
+//! | `HiddenTerminalScenario::compare(_with_model)` | `HiddenTerminalScenario::comparison(spacing, rng, &model)` |
+//! | bespoke `NetworkSimulator` loops | `SessionBuilder::new(source)…build()` + [`Session::run`] / [`Session::stream`] |
+//!
+//! ## Example
+//!
+//! ```
+//! use midas::sim::{PairedRecipe, SessionBuilder, TrafficKind};
+//! use midas_net::observer::RunningSummary;
+//!
+//! // The Fig. 15 testbed, but at 30 % duty-cycled traffic, streamed
+//! // through fixed-size observers.
+//! let session = SessionBuilder::new(PairedRecipe::three_ap_paper())
+//!     .rounds(8)
+//!     .traffic(TrafficKind::OnOff { duty: 0.3, mean_burst_rounds: 4.0 })
+//!     .build();
+//! for (cas, midas) in session.stream(3, 42, RunningSummary::new) {
+//!     assert!(midas.mean_capacity() >= 0.0);
+//!     assert!(cas.rounds() == 8);
+//! }
+//! ```
+
+mod session;
+mod source;
+mod spec;
+
+pub use session::{PairedSamples, Session, SessionBuilder, SessionSeries, SessionTrial};
+pub use source::{PairedRecipe, TopologySource};
+pub use spec::{ExperimentOutput, ExperimentSpec};
+
+// The building blocks a session composes, re-exported so `midas::sim` is a
+// one-stop import for session users.
+pub use midas_net::capture::{ContentionModel, PhysicalConfig};
+pub use midas_net::observer::{Accumulate, Observer, RoundRecord, RunningSummary};
+pub use midas_net::simulator::{MacKind, ScanMode};
+pub use midas_net::traffic::{FullBuffer, OnOff, Poisson, TrafficKind, TrafficModel};

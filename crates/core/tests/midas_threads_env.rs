@@ -6,9 +6,14 @@
 //! (every `SeedSweep::run` does).  With a single `#[test]`, all mutation and
 //! all reads happen on one thread.
 
-use midas::experiment::{end_to_end_capacity, fig07_link_snr, fig08_09_capacity};
+use midas::experiment::{end_to_end_series, fig07_link_snr, fig08_09_capacity};
 use midas::runner::THREADS_ENV;
 use midas_channel::EnvironmentKind;
+use midas_net::capture::ContentionModel;
+
+fn end_to_end_network(topologies: usize, rounds: usize, seed: u64) -> midas::sim::PairedSamples {
+    end_to_end_series(false, topologies, rounds, seed, ContentionModel::Graph).network
+}
 
 #[test]
 fn runner_series_are_identical_at_any_midas_threads_setting() {
@@ -25,10 +30,10 @@ fn runner_series_are_identical_at_any_midas_threads_setting() {
     // the machine default.
     std::env::set_var(THREADS_ENV, "3");
     let snr = fig07_link_snr(10, 77);
-    let e2e = end_to_end_capacity(false, 4, 5, 77);
+    let e2e = end_to_end_network(4, 5, 77);
     std::env::remove_var(THREADS_ENV);
     assert_eq!(snr.cas, fig07_link_snr(10, 77).cas);
     assert_eq!(snr.das, fig07_link_snr(10, 77).das);
-    assert_eq!(e2e.cas, end_to_end_capacity(false, 4, 5, 77).cas);
-    assert_eq!(e2e.das, end_to_end_capacity(false, 4, 5, 77).das);
+    assert_eq!(e2e.cas, end_to_end_network(4, 5, 77).cas);
+    assert_eq!(e2e.das, end_to_end_network(4, 5, 77).das);
 }

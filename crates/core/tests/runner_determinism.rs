@@ -10,6 +10,7 @@
 
 use midas::experiment::*;
 use midas_channel::EnvironmentKind;
+use midas_net::capture::ContentionModel;
 use midas_net::metrics::Cdf;
 
 fn median(samples: &[f64]) -> f64 {
@@ -97,7 +98,9 @@ fn fig14_golden_medians() {
 
 #[test]
 fn end_to_end_golden_medians() {
-    let s = end_to_end_capacity(false, 6, 10, 100);
+    // Same golden values the pre-session `end_to_end_capacity` runner
+    // pinned: the session path must reproduce them bit for bit.
+    let s = end_to_end_series(false, 6, 10, 100, ContentionModel::Graph).network;
     assert_eq!(median(&s.cas), 20.464142689729186);
     assert_eq!(median(&s.das), 20.826458303352467);
 }

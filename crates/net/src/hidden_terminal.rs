@@ -217,20 +217,17 @@ impl HiddenTerminalScenario {
     }
 
     /// Runs one paired CAS/DAS hidden-terminal comparison at the given grid
-    /// spacing (the paper uses 1 m).
-    pub fn compare(&self, spacing_m: f64, rng: &mut SimRng) -> HiddenTerminalComparison {
-        self.compare_with_model(spacing_m, rng, &ContentionModel::Graph)
-    }
-
-    /// [`HiddenTerminalScenario::compare`] under an explicit contention
-    /// model.  `ContentionModel::Graph` reproduces [`compare`] bit-for-bit
-    /// (same RNG draws, same thresholds); the physical model senses at its
-    /// configurable threshold and only counts a spot as hidden when the
-    /// collision defeats SINR capture — the §5.3.4 experiment as the
-    /// Fig. 16 calibration re-runs it.
+    /// spacing (the paper uses 1 m) under the given contention model — the
+    /// single model-parameterised entry point.
     ///
-    /// [`compare`]: HiddenTerminalScenario::compare
-    pub fn compare_with_model(
+    /// [`ContentionModel::Graph`] applies the paper's binary semantics (any
+    /// coverage/interference overlap between mutually-hidden transmitters
+    /// is a hidden spot); the physical model senses at its configurable
+    /// threshold and only counts a spot as hidden when the collision
+    /// defeats SINR capture — the §5.3.4 experiment as the Fig. 16
+    /// calibration re-runs it.  Both draw the same RNG sequence, so
+    /// switching models never perturbs the deployment stream.
+    pub fn comparison(
         &self,
         spacing_m: f64,
         rng: &mut SimRng,
@@ -246,6 +243,31 @@ impl HiddenTerminalScenario {
             das_spots,
             total_spots: total,
         }
+    }
+
+    /// Deprecated alias of [`HiddenTerminalScenario::comparison`] under
+    /// [`ContentionModel::Graph`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `comparison(spacing_m, rng, &ContentionModel::Graph)` \
+                or drive the experiment through `midas::sim::ExperimentSpec`"
+    )]
+    pub fn compare(&self, spacing_m: f64, rng: &mut SimRng) -> HiddenTerminalComparison {
+        self.comparison(spacing_m, rng, &ContentionModel::Graph)
+    }
+
+    /// Deprecated alias of [`HiddenTerminalScenario::comparison`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `comparison` — the model-parameterised entry point"
+    )]
+    pub fn compare_with_model(
+        &self,
+        spacing_m: f64,
+        rng: &mut SimRng,
+        contention: &ContentionModel,
+    ) -> HiddenTerminalComparison {
+        self.comparison(spacing_m, rng, contention)
     }
 }
 
@@ -274,7 +296,7 @@ mod tests {
         let mut cas_total = 0usize;
         let mut spots_total = 0usize;
         for _ in 0..5 {
-            let cmp = s.compare(4.0, &mut rng);
+            let cmp = s.comparison(4.0, &mut rng, &ContentionModel::Graph);
             cas_total += cmp.cas_spots;
             spots_total += cmp.total_spots;
         }
@@ -293,7 +315,7 @@ mod tests {
         let mut cas_total = 0usize;
         let mut das_total = 0usize;
         for _ in 0..10 {
-            let cmp = s.compare(4.0, &mut rng);
+            let cmp = s.comparison(4.0, &mut rng, &ContentionModel::Graph);
             cas_total += cmp.cas_spots;
             das_total += cmp.das_spots;
         }

@@ -17,6 +17,11 @@
 //! * [`hidden_terminal`] — the hidden-terminal spot analysis of §5.3.4.
 //! * [`simulator`] — round-based end-to-end network simulation combining the
 //!   MIDAS / CAS MACs with the precoders (Figs. 15 and 16).
+//! * [`traffic`] — pluggable downlink workloads (`FullBuffer`, `OnOff`,
+//!   `Poisson`) deciding which clients are backlogged each round.
+//! * [`observer`] — streaming per-round result consumers (`Accumulate`
+//!   rebuilds `TopologyResult` bit-for-bit; `RunningSummary` is
+//!   memory-flat in the round count).
 //! * [`scale`] — the enterprise-scale subsystem: arbitrary floor grids,
 //!   a uniform-grid spatial index replacing the O(n²) sweeps, pluggable
 //!   client-association policies, and the named scenario library.
@@ -31,11 +36,15 @@ pub mod coverage;
 pub mod deployment;
 pub mod hidden_terminal;
 pub mod metrics;
+pub mod observer;
 pub mod scale;
 pub mod simulator;
 pub mod spatial_reuse;
+pub mod traffic;
 
 pub use capture::{ContentionModel, PhysicalConfig};
 pub use metrics::Cdf;
+pub use observer::{Accumulate, Observer, RoundRecord, RunningSummary};
 pub use scale::{AssociationPolicy, FloorGrid, Scenario, SpatialIndex};
 pub use simulator::{NetworkSimConfig, NetworkSimulator, ScanMode, TopologyResult};
+pub use traffic::{FullBuffer, TrafficKind, TrafficModel};

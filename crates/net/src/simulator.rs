@@ -15,7 +15,9 @@
 use crate::capture::ContentionModel;
 use crate::contention::ContentionGraph;
 use crate::metrics::Cdf;
+use crate::observer::{Accumulate, Observer, RoundRecord};
 use crate::scale::index::SpatialIndex;
+use crate::traffic::{FullBuffer, TrafficKind, TrafficModel};
 use midas_channel::geometry::Point;
 use midas_channel::topology::Topology;
 use midas_channel::{ChannelMatrix, ChannelModel, Environment, SimRng};
@@ -156,8 +158,11 @@ pub struct TopologyResult {
 
 impl TopologyResult {
     /// Mean aggregate network capacity over the rounds (the per-topology value
-    /// whose CDF Figs. 15 and 16 plot).
+    /// whose CDF Figs. 15 and 16 plot); 0.0 for a zero-round run.
     pub fn mean_capacity(&self) -> f64 {
+        if self.per_round_capacity.is_empty() {
+            return 0.0;
+        }
         Cdf::new(&self.per_round_capacity).mean()
     }
 
@@ -186,7 +191,8 @@ impl TopologyResult {
             .collect()
     }
 
-    /// Fraction of rounds each AP managed to transmit in.
+    /// Fraction of rounds each AP managed to transmit in; all zeros for a
+    /// zero-round run.
     pub fn per_ap_duty_cycle(&self) -> Vec<f64> {
         let rounds = self.per_round_capacity.len().max(1) as f64;
         self.per_ap_active_rounds
@@ -195,7 +201,10 @@ impl TopologyResult {
             .collect()
     }
 
-    /// Jain fairness index of the per-client airtime.
+    /// Jain fairness index of the per-client airtime.  Well-defined on any
+    /// run: a zero-round (or never-served) run has uniformly zero airtime,
+    /// which is perfectly fair, so it reports 1.0 rather than the 0/0 NaN
+    /// the raw formula would produce.
     pub fn airtime_fairness(&self) -> f64 {
         let x = &self.per_client_airtime_us;
         let n = x.len() as f64;
@@ -270,6 +279,10 @@ pub struct NetworkSimulator {
     drr: Vec<DrrScheduler>,
     /// Per-AP tag tables over the AP's own clients (AP-local indices).
     tags: Vec<TagTable>,
+    /// Downlink workload: which clients are backlogged each round.
+    /// Defaults to [`FullBuffer`], which reproduces the pre-traffic-model
+    /// simulator byte for byte.
+    traffic: Box<dyn TrafficModel>,
 }
 
 impl NetworkSimulator {
@@ -358,7 +371,23 @@ impl NetworkSimulator {
             channels,
             drr,
             tags,
+            traffic: Box::new(FullBuffer),
         }
+    }
+
+    /// Replaces the traffic model (default: [`FullBuffer`]) with a custom
+    /// [`TrafficModel`] implementation.  Consumes and returns the simulator
+    /// so it composes with construction.
+    pub fn with_traffic(mut self, traffic: Box<dyn TrafficModel>) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Replaces the traffic model with a library workload described by
+    /// `kind`, seeded from this simulation's seed.
+    pub fn with_traffic_kind(self, kind: TrafficKind) -> Self {
+        let seed = self.config.seed;
+        self.with_traffic(kind.instantiate(seed))
     }
 
     /// The topology being simulated.
@@ -367,38 +396,47 @@ impl NetworkSimulator {
     }
 
     /// Runs the configured number of rounds and returns the aggregate result.
+    ///
+    /// Equivalent to streaming into an [`Accumulate`] observer — which is
+    /// exactly what it does, so results are bit-identical to the historical
+    /// accumulate-in-place loop.  For memory-bounded long-horizon runs,
+    /// stream into a fixed-size observer via [`NetworkSimulator::run_with`]
+    /// instead.
     pub fn run(&mut self) -> TopologyResult {
-        let num_clients = self.topo.clients.len();
-        let num_aps = self.topo.aps.len();
-        let mut per_round_capacity = Vec::with_capacity(self.config.rounds);
-        let mut per_round_streams = Vec::with_capacity(self.config.rounds);
-        let mut per_client_airtime = vec![0.0; num_clients];
-        let mut per_client_capacity = vec![0.0; num_clients];
-        let mut per_ap_capacity = vec![0.0; num_aps];
-        let mut per_ap_active_rounds = vec![0usize; num_aps];
+        let mut acc = Accumulate::new();
+        self.run_with(&mut acc);
+        acc.into_result()
+    }
 
-        for _round in 0..self.config.rounds {
+    /// Runs the configured number of rounds, streaming each round into
+    /// `observer` instead of accumulating anything — peak memory is the
+    /// observer's, flat in the round count for fixed-size observers.
+    pub fn run_with(&mut self, observer: &mut dyn Observer) {
+        observer.on_start(
+            self.topo.clients.len(),
+            self.topo.aps.len(),
+            self.config.rounds,
+        );
+        let mut transmitting_aps: Vec<usize> = Vec::new();
+        for round in 0..self.config.rounds {
             // Channel evolves between rounds (one TXOP apart).
             for apch in &mut self.channels {
                 apch.ch = self.model.evolve(&apch.ch, DEFAULT_TXOP_US as f64 * 1e-6);
             }
-            let transmissions = self.plan_round();
+            let transmissions = self.plan_round(round);
             let capacities = self.evaluate_round(&transmissions);
 
-            let total_capacity: f64 = capacities.iter().map(|(_, _, c)| c).sum();
+            transmitting_aps.clear();
+            transmitting_aps.extend(transmissions.iter().map(|t| t.ap_id));
             let total_streams: usize = transmissions.iter().map(|t| t.clients.len()).sum();
-            per_round_capacity.push(total_capacity);
-            per_round_streams.push(total_streams);
-            for (client, ap, c) in &capacities {
-                per_client_airtime[*client] += DEFAULT_TXOP_US as f64;
-                per_client_capacity[*client] += c;
-                per_ap_capacity[*ap] += c;
-            }
-            for t in &transmissions {
-                per_ap_active_rounds[t.ap_id] += 1;
-            }
+            observer.on_round(&RoundRecord {
+                round,
+                deliveries: &capacities,
+                transmitting_aps: &transmitting_aps,
+                streams: total_streams,
+            });
 
-            // Fairness counter updates per AP.
+            // Fairness counter and traffic-queue updates per AP.
             for t in &transmissions {
                 let ap_clients = self.topo.clients_of(t.ap_id);
                 let local_of = |global: usize| ap_clients.iter().position(|c| c.id == global);
@@ -407,21 +445,15 @@ impl NetworkSimulator {
                     .filter(|l| !served.contains(l))
                     .collect();
                 self.drr[t.ap_id].update_after_txop(&served, &unserved, DEFAULT_TXOP_US);
+                for &l in &served {
+                    self.traffic.served(t.ap_id, l);
+                }
             }
-        }
-
-        TopologyResult {
-            per_round_capacity,
-            per_round_streams,
-            per_client_airtime_us: per_client_airtime,
-            per_client_capacity,
-            per_ap_capacity,
-            per_ap_active_rounds,
         }
     }
 
     /// Decides who transmits in one round.
-    fn plan_round(&mut self) -> Vec<ActiveTransmission> {
+    fn plan_round(&mut self, round: usize) -> Vec<ActiveTransmission> {
         let num_aps = self.topo.aps.len();
         let mut order: Vec<usize> = (0..num_aps).collect();
         self.rng.shuffle(&mut order);
@@ -443,7 +475,14 @@ impl NetworkSimulator {
             if own_clients.is_empty() {
                 continue;
             }
-            let backlogged: Vec<usize> = (0..own_clients.len()).collect();
+            // Which of this AP's clients have downlink data this round?
+            // Full-buffer answers "all of them" without touching any RNG,
+            // so the legacy figures are unchanged; lighter workloads thin
+            // the candidate set (an AP with nothing queued stays silent).
+            let backlogged = self.traffic.backlogged(ap_id, own_clients.len(), round);
+            if backlogged.is_empty() {
+                continue;
+            }
 
             // Energy-detection carrier sensing against the transmitters
             // already on the air, truncated at the interaction range.  The

@@ -83,26 +83,19 @@ pub fn count_simultaneous_streams(
     total
 }
 
-/// Runs one paired spatial-reuse trial on a 3-AP paired topology.
+/// Runs one paired spatial-reuse trial on a 3-AP paired topology under the
+/// given contention model — the single model-parameterised entry point.
 ///
 /// Following §5.3.1: in MIDAS the first AP randomly enables 1–4 transmissions
 /// and the other APs add whatever their per-antenna sensing allows; in CAS
 /// exactly one AP can be active at a time, so the baseline is the antenna
-/// count of a single AP.
-pub fn spatial_reuse_trial(
-    pair: &PairedTopology,
-    env: &Environment,
-    rng: &mut SimRng,
-) -> SpatialReuseResult {
-    spatial_reuse_trial_with_model(pair, env, rng, &ContentionModel::Graph)
-}
-
-/// [`spatial_reuse_trial`] under an explicit contention model: the physical
-/// model senses at its own configurable threshold (through its own sensing
-/// field), which is how the Fig. 16 calibration re-runs the §5.3.1
-/// experiment.  `ContentionModel::Graph` reproduces
-/// [`spatial_reuse_trial`] bit-for-bit (same RNG draws, same graph).
-pub fn spatial_reuse_trial_with_model(
+/// count of a single AP.  [`ContentionModel::Graph`] senses at the
+/// environment's CCA through the legacy graph (the paper's binary
+/// semantics); the physical model senses at its own configurable threshold
+/// through its own sensing field, which is how the Fig. 16 calibration
+/// re-runs this experiment.  Both draw the same RNG sequence, so switching
+/// models never perturbs the topology stream.
+pub fn trial(
     pair: &PairedTopology,
     env: &Environment,
     rng: &mut SimRng,
@@ -117,6 +110,34 @@ pub fn spatial_reuse_trial_with_model(
         das_streams,
         cas_streams,
     }
+}
+
+/// Deprecated alias of [`trial`] under [`ContentionModel::Graph`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `spatial_reuse::trial(pair, env, rng, &ContentionModel::Graph)` \
+            or drive the experiment through `midas::sim::ExperimentSpec`"
+)]
+pub fn spatial_reuse_trial(
+    pair: &PairedTopology,
+    env: &Environment,
+    rng: &mut SimRng,
+) -> SpatialReuseResult {
+    trial(pair, env, rng, &ContentionModel::Graph)
+}
+
+/// Deprecated alias of [`trial`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `spatial_reuse::trial` — the model-parameterised entry point"
+)]
+pub fn spatial_reuse_trial_with_model(
+    pair: &PairedTopology,
+    env: &Environment,
+    rng: &mut SimRng,
+    model: &ContentionModel,
+) -> SpatialReuseResult {
+    trial(pair, env, rng, model)
 }
 
 #[cfg(test)]
@@ -148,7 +169,7 @@ mod tests {
         let mut rng = SimRng::new(2);
         for seed in 0..10 {
             let p = pair(100 + seed);
-            let r = spatial_reuse_trial(&p, &env, &mut rng);
+            let r = trial(&p, &env, &mut rng, &ContentionModel::Graph);
             assert!(
                 r.cas_streams >= 4 && r.cas_streams <= 12,
                 "CAS {}",
@@ -172,7 +193,7 @@ mod tests {
         let mut ratios: Vec<f64> = Vec::new();
         for seed in 0..30 {
             let p = pair(200 + seed);
-            ratios.push(spatial_reuse_trial(&p, &env, &mut rng).ratio());
+            ratios.push(trial(&p, &env, &mut rng, &ContentionModel::Graph).ratio());
         }
         ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = ratios[ratios.len() / 2];

@@ -1,0 +1,359 @@
+//! Downlink traffic models — the workload axis of the session API.
+//!
+//! The original simulator is hard-wired to *full-buffer* traffic: every
+//! client has queued downlink data in every round, so the MAC never idles
+//! and every figure measures saturation capacity.  That is the right model
+//! for the paper's figures, but scenario diversity (the ROADMAP's north
+//! star) needs lighter and burstier workloads: an enterprise floor at 30 %
+//! offered load contends very differently from one at saturation.
+//!
+//! [`TrafficModel`] is the extension point: once per (AP, round) the
+//! simulator asks the model which of the AP's clients are *backlogged*
+//! (have queued downlink data), and only those clients are eligible for
+//! selection.  [`FullBuffer`] reproduces the legacy behaviour **bit for
+//! bit** — every client, every round, no RNG consumed — which is what keeps
+//! every pre-redesign golden byte-identical; [`OnOff`] and [`Poisson`] add
+//! duty-cycled and queue-driven arrivals.
+//!
+//! Determinism contract: a model's answer for `(ap_id, round)` may depend
+//! only on its configuration, its seed, and the sequence of its *own*
+//! previous calls for that AP (the simulator queries each AP exactly once
+//! per round, in round order) — never on wall clock, global state, or the
+//! order APs are queried within a round.  That makes every traffic model
+//! safe to run through the deterministic `SeedSweep` engine at any thread
+//! count.
+
+use midas_channel::SimRng;
+
+/// A downlink traffic workload: decides, per AP and round, which clients
+/// have queued data.
+///
+/// Implementations must be deterministic in their seed (see the module docs
+/// for the exact contract).  The simulator owns one model instance per run
+/// and threads every query through it in round order.
+pub trait TrafficModel: Send {
+    /// AP-local indices (ascending) of the clients of `ap_id` that have
+    /// downlink data queued in `round`.  `num_clients` is the AP's own
+    /// client count; indices must be `< num_clients`.
+    fn backlogged(&mut self, ap_id: usize, num_clients: usize, round: usize) -> Vec<usize>;
+
+    /// Notification that `client` (AP-local, of `ap_id`) was served one
+    /// TXOP in the current round.  Queue-driven models drain here; the
+    /// default does nothing.
+    fn served(&mut self, ap_id: usize, client: usize) {
+        let _ = (ap_id, client);
+    }
+}
+
+/// Saturation workload: every client is backlogged in every round.
+///
+/// This is the paper's model and the library default; it consumes no
+/// randomness and reproduces the pre-redesign simulator byte for byte.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FullBuffer;
+
+impl TrafficModel for FullBuffer {
+    fn backlogged(&mut self, _ap_id: usize, num_clients: usize, _round: usize) -> Vec<usize> {
+        (0..num_clients).collect()
+    }
+}
+
+/// Duty-cycled workload: each client alternates deterministic on/off bursts.
+///
+/// Every `(ap, client)` pair draws a private phase and an on-burst /
+/// off-gap pair of lengths (geometric around the configured means) from the
+/// model seed, then repeats that pattern for the whole run — a stateless
+/// per-round decision, so the schedule is independent of how many rounds
+/// ran before or after.
+#[derive(Debug, Clone)]
+pub struct OnOff {
+    duty: f64,
+    mean_burst_rounds: f64,
+    seed: u64,
+}
+
+impl OnOff {
+    /// A model where each client has data during `duty` (clamped to
+    /// `[0, 1]`) of the rounds, in bursts averaging `mean_burst_rounds`
+    /// (clamped to ≥ 1) consecutive rounds.
+    pub fn new(duty: f64, mean_burst_rounds: f64, seed: u64) -> Self {
+        OnOff {
+            duty: duty.clamp(0.0, 1.0),
+            mean_burst_rounds: mean_burst_rounds.max(1.0),
+            seed,
+        }
+    }
+
+    /// Whether the client is inside an on-burst in `round`.
+    fn is_on(&self, ap_id: usize, client: usize, round: usize) -> bool {
+        if self.duty >= 1.0 {
+            return true;
+        }
+        if self.duty <= 0.0 {
+            return false;
+        }
+        let mut rng = per_client_rng(self.seed, ap_id, client);
+        // Burst lengths: on for ~mean_burst_rounds, off for the complement
+        // that realises the duty cycle; jittered per client so bursts do not
+        // align across the floor.  The off-gap is at least one round (else
+        // the pattern would degenerate to always-on), so the on-burst is
+        // stretched to at least duty/(1-duty) rounds — otherwise high duty
+        // cycles could never be realised (a 1-on/1-off pattern caps at 50%).
+        let min_on = (self.duty / (1.0 - self.duty)).ceil();
+        let on = (self.mean_burst_rounds * rng.uniform_range(0.5, 1.5))
+            .round()
+            .max(1.0)
+            .max(min_on);
+        let off = (on * (1.0 - self.duty) / self.duty).round().max(1.0);
+        let period = (on + off) as usize;
+        let phase = rng.uniform_usize(period);
+        (round + phase) % period < on as usize
+    }
+}
+
+impl TrafficModel for OnOff {
+    fn backlogged(&mut self, ap_id: usize, num_clients: usize, round: usize) -> Vec<usize> {
+        (0..num_clients)
+            .filter(|&c| self.is_on(ap_id, c, round))
+            .collect()
+    }
+}
+
+/// Queue-driven workload: packets arrive per client as a Poisson process
+/// (approximated round-by-round) and a client is backlogged while its queue
+/// is non-empty; serving a client drains one packet.
+#[derive(Debug, Clone)]
+pub struct Poisson {
+    mean_arrivals_per_round: f64,
+    seed: u64,
+    /// Queue depth per (ap, client), grown on demand.
+    queues: Vec<Vec<u32>>,
+}
+
+impl Poisson {
+    /// A model with `mean_arrivals_per_round` packets arriving per client
+    /// per round (clamped to ≥ 0).
+    pub fn new(mean_arrivals_per_round: f64, seed: u64) -> Self {
+        Poisson {
+            mean_arrivals_per_round: mean_arrivals_per_round.max(0.0),
+            seed,
+            queues: Vec::new(),
+        }
+    }
+
+    fn queue(&mut self, ap_id: usize, num_clients: usize) -> &mut Vec<u32> {
+        if self.queues.len() <= ap_id {
+            self.queues.resize(ap_id + 1, Vec::new());
+        }
+        let q = &mut self.queues[ap_id];
+        if q.len() < num_clients {
+            q.resize(num_clients, 0);
+        }
+        q
+    }
+
+    /// Packets arriving for `(ap, client)` in `round` — a hash-derived draw,
+    /// so the arrival sequence is independent of query order.
+    fn arrivals(&self, ap_id: usize, client: usize, round: usize) -> u32 {
+        let mut rng = per_client_rng(self.seed, ap_id, client).fork(round as u64);
+        // Inverse-CDF Poisson sampling; fine for the per-round rates
+        // (≤ a few packets) simulations use.
+        let lambda = self.mean_arrivals_per_round;
+        if lambda == 0.0 {
+            return 0;
+        }
+        let u = rng.uniform();
+        let mut k = 0u32;
+        let mut p = (-lambda).exp();
+        let mut cdf = p;
+        while u > cdf && k < 1_000 {
+            k += 1;
+            p *= lambda / k as f64;
+            cdf += p;
+        }
+        k
+    }
+}
+
+impl TrafficModel for Poisson {
+    fn backlogged(&mut self, ap_id: usize, num_clients: usize, round: usize) -> Vec<usize> {
+        let arrivals: Vec<u32> = (0..num_clients)
+            .map(|c| self.arrivals(ap_id, c, round))
+            .collect();
+        let q = self.queue(ap_id, num_clients);
+        let mut out = Vec::new();
+        for (c, &a) in arrivals.iter().enumerate() {
+            q[c] = q[c].saturating_add(a);
+            if q[c] > 0 {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    fn served(&mut self, ap_id: usize, client: usize) {
+        if let Some(q) = self.queues.get_mut(ap_id) {
+            if let Some(depth) = q.get_mut(client) {
+                *depth = depth.saturating_sub(1);
+            }
+        }
+    }
+}
+
+/// A declarative, copyable description of a traffic workload — what session
+/// configs and experiment specs carry; [`TrafficKind::instantiate`] builds
+/// the stateful [`TrafficModel`] the simulator owns.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum TrafficKind {
+    /// Every client backlogged every round (the paper's saturation model;
+    /// the default).
+    #[default]
+    FullBuffer,
+    /// Duty-cycled on/off bursts per client.
+    OnOff {
+        /// Fraction of rounds each client has data for.
+        duty: f64,
+        /// Mean consecutive on-rounds per burst.
+        mean_burst_rounds: f64,
+    },
+    /// Poisson packet arrivals feeding per-client queues.
+    Poisson {
+        /// Mean packets arriving per client per round.
+        mean_arrivals_per_round: f64,
+    },
+}
+
+impl TrafficKind {
+    /// Builds the stateful model this description names, seeded so arrival
+    /// patterns are reproducible per simulation seed.
+    pub fn instantiate(&self, seed: u64) -> Box<dyn TrafficModel> {
+        match *self {
+            TrafficKind::FullBuffer => Box::new(FullBuffer),
+            TrafficKind::OnOff {
+                duty,
+                mean_burst_rounds,
+            } => Box::new(OnOff::new(duty, mean_burst_rounds, seed)),
+            TrafficKind::Poisson {
+                mean_arrivals_per_round,
+            } => Box::new(Poisson::new(mean_arrivals_per_round, seed)),
+        }
+    }
+}
+
+/// Private per-(ap, client) RNG: decorrelates clients without depending on
+/// query order.
+fn per_client_rng(seed: u64, ap_id: usize, client: usize) -> SimRng {
+    SimRng::new(seed ^ 0x7AFF1C).fork((ap_id as u64) << 20 | client as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_buffer_backlogs_every_client_every_round() {
+        let mut m = FullBuffer;
+        for round in 0..5 {
+            assert_eq!(m.backlogged(0, 4, round), vec![0, 1, 2, 3]);
+            assert_eq!(m.backlogged(3, 2, round), vec![0, 1]);
+        }
+        assert!(m.backlogged(0, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn on_off_duty_extremes_are_always_and_never() {
+        let mut always = OnOff::new(1.0, 4.0, 1);
+        let mut never = OnOff::new(0.0, 4.0, 1);
+        for round in 0..10 {
+            assert_eq!(always.backlogged(0, 3, round), vec![0, 1, 2]);
+            assert!(never.backlogged(0, 3, round).is_empty());
+        }
+    }
+
+    #[test]
+    fn on_off_realises_roughly_its_duty_cycle() {
+        // Includes a high duty with short bursts: the on-burst must stretch
+        // past the >= 1-round off-gap clamp, or 0.9 would cap at 0.5.
+        for (duty, burst, lo, hi) in [(0.3, 4.0, 0.2, 0.4), (0.9, 1.0, 0.8, 0.97)] {
+            let mut m = OnOff::new(duty, burst, 42);
+            let rounds = 2_000;
+            let mut on = 0usize;
+            for round in 0..rounds {
+                on += m.backlogged(0, 8, round).len();
+            }
+            let realised = on as f64 / (rounds * 8) as f64;
+            assert!(
+                (lo..=hi).contains(&realised),
+                "realised duty {realised:.3} far from configured {duty}"
+            );
+        }
+    }
+
+    #[test]
+    fn on_off_is_deterministic_and_order_independent() {
+        let mut a = OnOff::new(0.5, 3.0, 7);
+        let mut b = OnOff::new(0.5, 3.0, 7);
+        // Query b in a scrambled round order; per-round answers must agree.
+        let forward: Vec<_> = (0..20).map(|r| a.backlogged(1, 6, r)).collect();
+        for r in (0..20).rev() {
+            assert_eq!(b.backlogged(1, 6, r), forward[r], "round {r}");
+        }
+        // Different seeds decorrelate.
+        let mut c = OnOff::new(0.5, 3.0, 8);
+        let other: Vec<_> = (0..20).map(|r| c.backlogged(1, 6, r)).collect();
+        assert_ne!(forward, other);
+    }
+
+    #[test]
+    fn poisson_queues_grow_with_arrivals_and_drain_when_served() {
+        let mut m = Poisson::new(1.5, 3);
+        let mut total_backlogged = 0usize;
+        for round in 0..50 {
+            let backlogged = m.backlogged(0, 4, round);
+            total_backlogged += backlogged.len();
+            // Serve everyone who had data: queues must eventually drain to
+            // roughly the arrival rate rather than growing without bound.
+            for &c in &backlogged {
+                m.served(0, c);
+            }
+        }
+        assert!(total_backlogged > 0, "arrivals never backlogged anyone");
+        let depth: u32 = m.queues[0].iter().sum();
+        assert!(depth < 200, "queues exploded: {depth}");
+    }
+
+    #[test]
+    fn poisson_zero_rate_never_backlogs() {
+        let mut m = Poisson::new(0.0, 3);
+        for round in 0..10 {
+            assert!(m.backlogged(0, 4, round).is_empty());
+        }
+    }
+
+    #[test]
+    fn poisson_served_on_unknown_client_is_a_no_op() {
+        let mut m = Poisson::new(1.0, 3);
+        m.served(5, 9); // nothing allocated yet — must not panic
+        let _ = m.backlogged(0, 2, 0);
+        m.served(0, 7); // out of range — still a no-op
+    }
+
+    #[test]
+    fn kind_instantiates_the_matching_model() {
+        assert_eq!(
+            TrafficKind::default().instantiate(1).backlogged(0, 3, 0),
+            vec![0, 1, 2]
+        );
+        let mut on_off = TrafficKind::OnOff {
+            duty: 0.0,
+            mean_burst_rounds: 2.0,
+        }
+        .instantiate(1);
+        assert!(on_off.backlogged(0, 3, 0).is_empty());
+        let mut poisson = TrafficKind::Poisson {
+            mean_arrivals_per_round: 0.0,
+        }
+        .instantiate(1);
+        assert!(poisson.backlogged(0, 3, 0).is_empty());
+    }
+}

@@ -10,12 +10,11 @@
 //!
 //! Run with `cargo run --release --example das_radius_sweep`.
 
+use midas::sim::{MacKind, PairedRecipe, SessionBuilder, SessionTrial};
 use midas_channel::topology::TopologyConfig;
-use midas_channel::{Environment, SimRng};
-use midas_net::deployment::PairedTopology;
-use midas_net::simulator::{NetworkSimConfig, NetworkSimulator};
+use midas_channel::Environment;
 
-const TOPOLOGIES_PER_SETTING: u64 = 6;
+const TOPOLOGIES_PER_SETTING: usize = 6;
 
 /// Runs one sweep point: DAS annulus `[das_lo, das_hi]` and maximum
 /// client-AP distance `client_max`, all as fractions of the coverage range.
@@ -29,20 +28,26 @@ fn run(label: &str, das_lo: f64, das_hi: f64, client_max: f64) {
         max_client_ap_m: client_max * range,
         ..TopologyConfig::das(4, 4)
     };
+    // A custom three-AP recipe per sweep point, driven through one session.
+    let session = SessionBuilder::new(PairedRecipe::three_ap(env, cfg))
+        .rounds(10)
+        .build();
+    let rows = session.run_trials(TOPOLOGIES_PER_SETTING, 100, &|trial: &SessionTrial<'_>| {
+        let das_run = trial.simulate(MacKind::Midas);
+        let cas_run = trial.simulate(MacKind::Cas);
+        (
+            das_run.mean_capacity(),
+            cas_run.mean_capacity(),
+            das_run.mean_streams(),
+            cas_run.mean_streams(),
+        )
+    });
     let (mut das_cap, mut cas_cap, mut das_streams, mut cas_streams) = (0.0, 0.0, 0.0, 0.0);
-    for seed in 0..TOPOLOGIES_PER_SETTING {
-        let mut rng = SimRng::new(100 + seed);
-        let pair = PairedTopology::three_ap(&cfg, &mut rng);
-        let mut midas_cfg = NetworkSimConfig::midas(env, seed);
-        midas_cfg.rounds = 10;
-        let mut cas_cfg = NetworkSimConfig::cas(env, seed);
-        cas_cfg.rounds = 10;
-        let das_run = NetworkSimulator::new(pair.das, midas_cfg).run();
-        let cas_run = NetworkSimulator::new(pair.cas, cas_cfg).run();
-        das_cap += das_run.mean_capacity();
-        cas_cap += cas_run.mean_capacity();
-        das_streams += das_run.mean_streams();
-        cas_streams += cas_run.mean_streams();
+    for (dc, cc, ds, cs) in rows {
+        das_cap += dc;
+        cas_cap += cc;
+        das_streams += ds;
+        cas_streams += cs;
     }
     let n = TOPOLOGIES_PER_SETTING as f64;
     println!(

@@ -6,9 +6,9 @@
 //! MIDAS_ENTERPRISE_AP_COUNTS=16 cargo run --release --example enterprise_grid
 //! ```
 
+use midas::sim::{MacKind, SessionBuilder};
 use midas_net::metrics::Cdf;
 use midas_net::scale::Scenario;
-use midas_net::simulator::{MacKind, NetworkSimulator};
 
 fn main() {
     let aps: usize = std::env::var("MIDAS_ENTERPRISE_AP_COUNTS")
@@ -31,12 +31,12 @@ fn main() {
             env.interaction_range_m(midas_net::scale::scenario::INTERACTION_MARGIN_DB),
         );
         let start = std::time::Instant::now();
-        let pair = scenario.build(seed).expect("scenario builds");
-        let cas =
-            NetworkSimulator::new(pair.cas, scenario.sim_config(MacKind::Cas, rounds, seed)).run();
-        let das =
-            NetworkSimulator::new(pair.das, scenario.sim_config(MacKind::Midas, rounds, seed))
-                .run();
+        // One session trial = one paired floor realisation; the session
+        // carries the scenario's finite-interaction-range simulator config.
+        let session = SessionBuilder::new(scenario).rounds(rounds).build();
+        let trial = session.trial(0, seed);
+        let cas = trial.simulate(MacKind::Cas);
+        let das = trial.simulate(MacKind::Midas);
         let duty = Cdf::new(&das.per_ap_duty_cycle());
         println!(
             "   CAS   {:7.1} bit/s/Hz over {:5.1} streams/round",

@@ -4,11 +4,12 @@
 //!
 //! Run with `cargo run --release --example multi_ap_spatial_reuse`.
 
-use midas::experiment::{end_to_end_capacity, fig12_simultaneous_tx};
 use midas::prelude::*;
 
 fn main() {
-    let ratios = fig12_simultaneous_tx(30, 3);
+    let ratios = ExperimentSpec::SimultaneousTx { topologies: 30 }
+        .run(3)
+        .expect_ratios();
     let cdf = Cdf::new(&ratios);
     println!("simultaneous transmissions, MIDAS/CAS ratio over 30 topologies:");
     println!(
@@ -18,7 +19,15 @@ fn main() {
         cdf.quantile(0.9)
     );
 
-    let e2e = end_to_end_capacity(false, 10, 10, 3);
+    let e2e = ExperimentSpec::EndToEnd {
+        eight_aps: false,
+        topologies: 10,
+        rounds: 10,
+        contention: midas::sim::ContentionModel::Graph,
+    }
+    .run(3)
+    .expect_end_to_end()
+    .network;
     let cas = Cdf::new(&e2e.cas);
     let das = Cdf::new(&e2e.das);
     println!("end-to-end 3-AP network capacity:");

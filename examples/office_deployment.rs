@@ -6,13 +6,18 @@
 //!
 //! Run with `cargo run --release --example office_deployment`.
 
-use midas::experiment::fig08_09_capacity;
 use midas::prelude::*;
 
 fn main() {
     for env in [EnvironmentKind::OfficeA, EnvironmentKind::OfficeB] {
         for antennas in [2usize, 4] {
-            let s = fig08_09_capacity(env, antennas, 40, 7);
+            let s = ExperimentSpec::MuMimoCapacity {
+                environment: env,
+                antennas,
+                topologies: 40,
+            }
+            .run(7)
+            .expect_paired();
             let cas = Cdf::new(&s.cas);
             let das = Cdf::new(&s.das);
             println!(
@@ -24,7 +29,9 @@ fn main() {
         }
     }
     println!("\nDead-zone check (Office B, 10 random deployments):");
-    let dead = midas::experiment::fig13_deadzones(5, 11);
+    let dead = ExperimentSpec::Deadzones { deployments: 5 }
+        .run(11)
+        .expect_deadzones();
     for (i, d) in dead.iter().enumerate() {
         println!(
             "  deployment {i}: CAS {:3} dead spots, DAS {:3} ({:.0}% removed)",

@@ -52,11 +52,21 @@ fn experiment_runners_are_deterministic_in_the_seed() {
 
 #[test]
 fn spatial_reuse_and_end_to_end_runners_produce_sane_output() {
-    let ratios = experiment::fig12_simultaneous_tx(10, 5);
+    let ratios = ExperimentSpec::SimultaneousTx { topologies: 10 }
+        .run(5)
+        .expect_ratios();
     assert_eq!(ratios.len(), 10);
     assert!(ratios.iter().all(|r| *r > 0.0 && *r < 4.0));
 
-    let e2e = experiment::end_to_end_capacity(false, 2, 5, 5);
+    let e2e = ExperimentSpec::EndToEnd {
+        eight_aps: false,
+        topologies: 2,
+        rounds: 5,
+        contention: midas::sim::ContentionModel::Graph,
+    }
+    .run(5)
+    .expect_end_to_end()
+    .network;
     assert_eq!(e2e.cas.len(), 2);
     assert!(e2e.das.iter().all(|c| c.is_finite() && *c > 0.0));
 }

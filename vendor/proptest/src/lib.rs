@@ -386,7 +386,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`](fn@vec).
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,
