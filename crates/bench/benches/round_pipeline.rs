@@ -1,0 +1,332 @@
+//! Round-pipeline perf snapshot — the first point of the ROADMAP's
+//! `BENCH_*.json` perf trajectory.
+//!
+//! Times the simulator's round loop end-to-end (topology build + channel
+//! realisation + `rounds` TXOP rounds, CAS and MIDAS back to back) at three
+//! scales and writes `BENCH_round_pipeline.json` at the **repo root** so the
+//! numbers are diffable PR-over-PR:
+//!
+//! * `fig16_8ap` — the paper's 8-AP end-to-end workload (binary graph).
+//! * `enterprise_64ap` — the 64-AP / 512-client enterprise_office floor
+//!   (finite interaction range, indexed scans) — the acceptance workload.
+//! * `enterprise_256ap` — a beyond-ROADMAP 256-AP / 2048-client point.
+//!
+//! Each cell reports the per-repetition wall-clock median plus a 95 %
+//! normal-approximation confidence interval on the mean, following the
+//! measured-claims discipline (accept a speedup only when before/after CIs
+//! do not overlap; record negative results).
+//!
+//! Knobs (CI smoke + quick local iterations):
+//! * `MIDAS_PIPELINE_CELLS` — comma-separated cell names
+//!   (default `fig16_8ap,enterprise_64ap,enterprise_256ap`).
+//! * `MIDAS_PIPELINE_REPS` — timed repetitions per cell (default 5).
+//! * `MIDAS_PIPELINE_TOPOLOGIES` — floor realisations per repetition
+//!   (default 4 at 8 APs, 3 at 64 APs, 1 at 256 APs).
+//! * `MIDAS_PIPELINE_ROUNDS` — TXOP rounds per realisation (default 10).
+//!
+//! Profiling mode (flamegraph-friendly):
+//! * `MIDAS_PIPELINE_PROFILE=<cell>` runs that cell's MIDAS round loop in a
+//!   flat hot loop (one long simulation, no timing machinery in the way) so
+//!   `perf record --call-graph dwarf` / `flamegraph` see clean stacks;
+//!   `MIDAS_PIPELINE_PROFILE_ROUNDS` (default 400) sets the round count and
+//!   `MIDAS_PIPELINE_COHERENCE` (default 1) the coherence interval in rounds
+//!   (> 1 caches channel realisations — opt-in, changes outputs; handy for
+//!   A/B-profiling the evolve stage, which dominates the round loop).
+
+use midas::sim::{ExperimentOutput, ExperimentSpec};
+use midas_bench::{Cell, Figure, Table, BENCH_SEED};
+use midas_net::capture::ContentionModel;
+use midas_net::metrics::Cdf;
+use midas_net::scale::Scenario;
+use midas_net::simulator::{MacKind, NetworkSimulator};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn env_list(name: &str, default: &str) -> Vec<String> {
+    std::env::var(name)
+        .unwrap_or_else(|_| default.to_string())
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// One timed workload of the snapshot.
+struct PipelineCell {
+    name: &'static str,
+    aps: usize,
+    clients: usize,
+    topologies: usize,
+    rounds: usize,
+    spec: ExperimentSpec,
+}
+
+fn cell_by_name(
+    name: &str,
+    topologies_override: Option<usize>,
+    rounds: usize,
+) -> Option<PipelineCell> {
+    let cell = |name, aps, clients, default_topologies, spec: &dyn Fn(usize) -> ExperimentSpec| {
+        let topologies = topologies_override.unwrap_or(default_topologies).max(1);
+        PipelineCell {
+            name,
+            aps,
+            clients,
+            topologies,
+            rounds,
+            spec: spec(topologies),
+        }
+    };
+    match name {
+        "fig16_8ap" => Some(cell("fig16_8ap", 8, 32, 4, &|topologies| {
+            ExperimentSpec::EndToEnd {
+                eight_aps: true,
+                topologies,
+                rounds,
+                contention: ContentionModel::Graph,
+            }
+        })),
+        "enterprise_64ap" => Some(cell("enterprise_64ap", 64, 512, 3, &|topologies| {
+            ExperimentSpec::EnterpriseScaling {
+                scenario: Scenario::enterprise_office(64),
+                topologies,
+                rounds,
+            }
+        })),
+        "enterprise_256ap" => Some(cell("enterprise_256ap", 256, 2048, 1, &|topologies| {
+            ExperimentSpec::EnterpriseScaling {
+                scenario: Scenario::enterprise_office(256),
+                topologies,
+                rounds,
+            }
+        })),
+        _ => None,
+    }
+}
+
+/// Simulated TXOP rounds per repetition: CAS + MIDAS per realisation.
+fn sim_rounds(cell: &PipelineCell) -> usize {
+    2 * cell.topologies * cell.rounds
+}
+
+/// Consume the output so the optimiser cannot elide the run.
+fn checksum(out: &ExperimentOutput) -> f64 {
+    match out {
+        ExperimentOutput::EndToEnd(s) => {
+            s.network.cas.iter().sum::<f64>() + s.network.das.iter().sum::<f64>()
+        }
+        ExperimentOutput::Enterprise(s) => s.cas.iter().sum::<f64>() + s.das.iter().sum::<f64>(),
+        _ => 0.0,
+    }
+}
+
+/// The repo root, resolved like `midas_bench::default_figure_dir` does —
+/// from this crate's manifest path, so the snapshot lands at the workspace
+/// root no matter where `cargo bench` chdirs to.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+struct CellStats {
+    median_s: f64,
+    mean_s: f64,
+    sd_s: f64,
+    ci95_lo_s: f64,
+    ci95_hi_s: f64,
+}
+
+fn stats(samples: &[f64]) -> CellStats {
+    let n = samples.len() as f64;
+    let cdf = Cdf::new(samples);
+    let mean = cdf.mean();
+    let var = if samples.len() > 1 {
+        samples
+            .iter()
+            .map(|&s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / (n - 1.0)
+    } else {
+        0.0
+    };
+    let sd = var.sqrt();
+    let half = 1.96 * sd / n.sqrt();
+    CellStats {
+        median_s: cdf.median(),
+        mean_s: mean,
+        sd_s: sd,
+        ci95_lo_s: mean - half,
+        ci95_hi_s: mean + half,
+    }
+}
+
+/// Flat MIDAS hot loop for profilers: one long simulation, no timers.
+fn profile(cell_name: &str, rounds: usize) {
+    let scenario = match cell_name {
+        "enterprise_64ap" => Some(Scenario::enterprise_office(64)),
+        "enterprise_256ap" => Some(Scenario::enterprise_office(256)),
+        _ => None,
+    };
+    match scenario {
+        Some(scenario) => {
+            let pair = scenario.build(BENCH_SEED).expect("floor fits the grid");
+            let mut config = scenario.sim_config(MacKind::Midas, rounds, BENCH_SEED);
+            config.rounds = rounds;
+            config.coherence_interval_rounds = env_usize("MIDAS_PIPELINE_COHERENCE", 1).max(1);
+            let mut sim = NetworkSimulator::new(pair.das, config);
+            let result = sim.run();
+            println!(
+                "# profile {cell_name}: {rounds} rounds, mean capacity {:.3} bit/s/Hz",
+                result.mean_capacity()
+            );
+        }
+        None => {
+            // fig16_8ap (or anything unrecognised): the paper-scale workload
+            // through the spec runner, rounds stretched for a long loop.
+            let spec = ExperimentSpec::EndToEnd {
+                eight_aps: true,
+                topologies: 1,
+                rounds,
+                contention: ContentionModel::Graph,
+            };
+            let out = spec.run(BENCH_SEED);
+            println!(
+                "# profile fig16_8ap: {rounds} rounds, checksum {:.3}",
+                checksum(&out)
+            );
+        }
+    }
+}
+
+fn main() {
+    if let Ok(cell) = std::env::var("MIDAS_PIPELINE_PROFILE") {
+        let rounds = env_usize("MIDAS_PIPELINE_PROFILE_ROUNDS", 400).max(1);
+        profile(cell.trim(), rounds);
+        return;
+    }
+
+    let names = env_list(
+        "MIDAS_PIPELINE_CELLS",
+        "fig16_8ap,enterprise_64ap,enterprise_256ap",
+    );
+    let reps = env_usize("MIDAS_PIPELINE_REPS", 5).max(1);
+    let topologies_override = std::env::var("MIDAS_PIPELINE_TOPOLOGIES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok());
+    let rounds = env_usize("MIDAS_PIPELINE_ROUNDS", 10).max(1);
+
+    let mut fig = Figure::new("round_pipeline").with_seed(BENCH_SEED);
+    let mut table = Table::new(
+        "pipeline",
+        &[
+            "cell",
+            "aps",
+            "clients",
+            "topologies",
+            "rounds",
+            "reps",
+            "median_s",
+            "mean_s",
+            "sd_s",
+            "ci95_lo_s",
+            "ci95_hi_s",
+            "sim_rounds_per_s",
+        ],
+    );
+    let mut cells_json: Vec<String> = Vec::new();
+
+    for name in &names {
+        let Some(cell) = cell_by_name(name, topologies_override, rounds) else {
+            eprintln!("unknown pipeline cell '{name}' — skipping");
+            continue;
+        };
+        // One untimed warm-up keeps one-time costs (page-in, lazy init) out
+        // of the repetition samples.
+        let mut sink = checksum(&cell.spec.run(BENCH_SEED));
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let start = Instant::now();
+            sink += checksum(&cell.spec.run(BENCH_SEED));
+            samples.push(start.elapsed().as_secs_f64());
+        }
+        let s = stats(&samples);
+        let throughput = sim_rounds(&cell) as f64 / s.median_s;
+        println!(
+            "# {}: median {:.3} s, mean {:.3} s (95% CI [{:.3}, {:.3}]), {:.1} sim rounds/s (checksum {sink:.1})",
+            cell.name, s.median_s, s.mean_s, s.ci95_lo_s, s.ci95_hi_s, throughput
+        );
+        table.row([
+            Cell::from(cell.name),
+            Cell::from(cell.aps),
+            Cell::from(cell.clients),
+            Cell::from(cell.topologies),
+            Cell::from(cell.rounds),
+            Cell::from(reps),
+            Cell::from(s.median_s),
+            Cell::from(s.mean_s),
+            Cell::from(s.sd_s),
+            Cell::from(s.ci95_lo_s),
+            Cell::from(s.ci95_hi_s),
+            Cell::from(throughput),
+        ]);
+        cells_json.push(format!(
+            concat!(
+                "{{\"name\":\"{}\",\"aps\":{},\"clients\":{},\"topologies\":{},",
+                "\"rounds\":{},\"reps\":{},\"median_s\":{},\"mean_s\":{},\"sd_s\":{},",
+                "\"ci95_lo_s\":{},\"ci95_hi_s\":{},\"sim_rounds_per_s\":{}}}"
+            ),
+            cell.name,
+            cell.aps,
+            cell.clients,
+            cell.topologies,
+            cell.rounds,
+            reps,
+            json_num(s.median_s),
+            json_num(s.mean_s),
+            json_num(s.sd_s),
+            json_num(s.ci95_lo_s),
+            json_num(s.ci95_hi_s),
+            json_num(throughput),
+        ));
+    }
+
+    fig.note(
+        "perf snapshot: wall-clock per repetition of the full round-loop workload \
+         (topology build + channel realisation + CAS and MIDAS simulations)",
+    );
+    fig.note(
+        "measured-claims discipline: compare PR-over-PR medians only when the 95% CIs \
+         do not overlap; BENCH_round_pipeline.json at the repo root is the diffable record",
+    );
+    fig.table(table);
+
+    let snapshot = format!(
+        "{{\"bench\":\"round_pipeline\",\"seed\":{BENCH_SEED},\"cells\":[{}]}}\n",
+        cells_json.join(",")
+    );
+    let path = repo_root().join("BENCH_round_pipeline.json");
+    match std::fs::write(&path, &snapshot) {
+        Ok(()) => println!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# failed to write {}: {e}", path.display()),
+    }
+
+    fig.emit();
+}

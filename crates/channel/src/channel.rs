@@ -24,7 +24,7 @@ use crate::geometry::Point;
 use crate::rng::SimRng;
 use crate::topology::{Client, Deployment};
 use crate::{dbm_to_mw, mw_to_dbm};
-use midas_linalg::{CMat, Complex};
+use midas_linalg::{CMat, Complex, FMat};
 
 /// Per-link statistics of a single antenna → client link.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,8 +44,9 @@ pub struct ChannelMatrix {
     /// Composite complex amplitude gains, `clients × antennas`.
     pub h: CMat,
     /// Large-scale amplitude gains (path loss + shadowing, no fading),
-    /// `clients × antennas`, linear amplitude (not dB).
-    pub large_scale: Vec<Vec<f64>>,
+    /// `clients × antennas`, linear amplitude (not dB).  Stored flat
+    /// (structure-of-arrays) so per-client rows are contiguous slices.
+    pub large_scale: FMat,
     /// Per-antenna transmit power constraint, mW.
     pub tx_power_mw: f64,
     /// Noise power, mW.
@@ -66,7 +67,7 @@ impl ChannelMatrix {
     /// Mean (large-scale) received power in dBm at client `j` from antenna `k`
     /// when that antenna transmits at the per-antenna power.
     pub fn mean_rssi_dbm(&self, client: usize, antenna: usize) -> f64 {
-        let g = self.large_scale[client][antenna];
+        let g = self.large_scale.get(client, antenna);
         mw_to_dbm(self.tx_power_mw * g * g)
     }
 
@@ -80,12 +81,9 @@ impl ChannelMatrix {
     /// Antenna indices sorted by decreasing mean RSSI for the given client —
     /// the "preference list" used by virtual packet tagging.
     pub fn antenna_preference(&self, client: usize) -> Vec<usize> {
+        let gains = self.large_scale.row(client);
         let mut idx: Vec<usize> = (0..self.num_antennas()).collect();
-        idx.sort_by(|&a, &b| {
-            self.large_scale[client][b]
-                .partial_cmp(&self.large_scale[client][a])
-                .unwrap()
-        });
+        idx.sort_by(|&a, &b| gains[b].partial_cmp(&gains[a]).unwrap());
         idx
     }
 
@@ -93,10 +91,7 @@ impl ChannelMatrix {
     /// (in the given order).
     pub fn select(&self, clients: &[usize], antennas: &[usize]) -> ChannelMatrix {
         let h = self.h.select(clients, antennas);
-        let large_scale = clients
-            .iter()
-            .map(|&c| antennas.iter().map(|&a| self.large_scale[c][a]).collect())
-            .collect();
+        let large_scale = self.large_scale.select(clients, antennas);
         ChannelMatrix {
             h,
             large_scale,
@@ -271,7 +266,7 @@ impl ChannelModel {
         let n_a = antennas.len();
         let chol = antenna_correlation_cholesky(antennas);
         let mut h = CMat::zeros(n_c, n_a);
-        let mut large_scale = vec![vec![0.0; n_a]; n_c];
+        let mut large_scale = FMat::zeros(n_c, n_a);
         for (j, cpos) in clients.iter().enumerate() {
             // Correlated scattered components across this client's antennas.
             let z: Vec<Complex> = (0..n_a)
@@ -302,7 +297,7 @@ impl ChannelModel {
                             + scattered[k].scale((1.0 / (k_lin + 1.0)).sqrt())
                     }
                 };
-                large_scale[j][k] = g;
+                large_scale.set(j, k, g);
                 h.set(j, k, f.scale(g));
             }
         }
@@ -318,11 +313,22 @@ impl ChannelModel {
     /// environment's coherence time (Gauss–Markov small-scale evolution; the
     /// large-scale part is unchanged).
     pub fn evolve(&mut self, channel: &ChannelMatrix, delay_s: f64) -> ChannelMatrix {
+        let mut out = channel.clone();
+        self.evolve_in_place(&mut out, delay_s);
+        out
+    }
+
+    /// In-place variant of [`ChannelModel::evolve`]: updates `channel.h`
+    /// without cloning the matrix or its large-scale gains.
+    ///
+    /// Consumes RNG draws in exactly the same link order as `evolve`, so the
+    /// two are bit-interchangeable; the round loop uses this form to avoid
+    /// one `h` + one `large_scale` allocation per AP per round.
+    pub fn evolve_in_place(&mut self, channel: &mut ChannelMatrix, delay_s: f64) {
         let rho = fading::correlation_for_delay(delay_s, self.env.coherence_time_s);
-        let mut h = channel.h.clone();
         for j in 0..channel.num_clients() {
             for k in 0..channel.num_antennas() {
-                let g = channel.large_scale[j][k];
+                let g = channel.large_scale.get(j, k);
                 if g <= 0.0 {
                     continue;
                 }
@@ -330,14 +336,8 @@ impl ChannelModel {
                 // fading coefficient, re-apply the gain.
                 let f = channel.h.get(j, k).scale(1.0 / g);
                 let f2 = fading::evolve(f, rho, &mut self.rng);
-                h.set(j, k, f2.scale(g));
+                channel.h.set(j, k, f2.scale(g));
             }
-        }
-        ChannelMatrix {
-            h,
-            large_scale: channel.large_scale.clone(),
-            tx_power_mw: channel.tx_power_mw,
-            noise_mw: channel.noise_mw,
         }
     }
 }
@@ -394,7 +394,7 @@ mod tests {
             let pref = ch.antenna_preference(j);
             assert_eq!(pref.len(), 4);
             for w in pref.windows(2) {
-                assert!(ch.large_scale[j][w[0]] >= ch.large_scale[j][w[1]]);
+                assert!(ch.large_scale.get(j, w[0]) >= ch.large_scale.get(j, w[1]));
             }
         }
     }
@@ -465,7 +465,7 @@ mod tests {
         assert_eq!(sub.num_antennas(), 2);
         assert_eq!(sub.h.get(0, 0), ch.h.get(1, 0));
         assert_eq!(sub.h.get(1, 1), ch.h.get(3, 2));
-        assert_eq!(sub.large_scale[0][1], ch.large_scale[1][2]);
+        assert_eq!(sub.large_scale.get(0, 1), ch.large_scale.get(1, 2));
     }
 
     #[test]

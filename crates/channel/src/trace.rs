@@ -8,7 +8,7 @@
 //! simple CSV-like text format and replayed deterministically.
 
 use crate::channel::ChannelMatrix;
-use midas_linalg::{CMat, Complex};
+use midas_linalg::{CMat, Complex, FMat};
 use std::fmt::Write as _;
 
 /// A single recorded channel snapshot with an identifying topology index.
@@ -89,10 +89,8 @@ impl ChannelTrace {
             }
             out.push('\n');
             out.push('g');
-            for row in &ch.large_scale {
-                for g in row {
-                    let _ = write!(out, ",{}", g);
-                }
+            for g in ch.large_scale.data() {
+                let _ = write!(out, ",{}", g);
             }
             out.push('\n');
         }
@@ -140,9 +138,9 @@ impl ChannelTrace {
             if g_fields[0] != "g" || g_fields.len() != 1 + clients * antennas {
                 return Err(format!("malformed g line for topology {topology_id}"));
             }
-            let mut large_scale = vec![vec![0.0; antennas]; clients];
+            let mut large_scale = FMat::zeros(clients, antennas);
             for (i, v) in g_fields[1..].iter().enumerate() {
-                large_scale[i / antennas][i % antennas] = parse_f64(v)?;
+                large_scale.set(i / antennas, i % antennas, parse_f64(v)?);
             }
 
             trace.record(

@@ -85,10 +85,10 @@ proptest! {
             pref.sort_unstable();
             prop_assert_eq!(pref, vec![0, 1, 2, 3]);
             for k in 0..4 {
-                prop_assert!(ch.large_scale[j][k] > 0.0);
+                prop_assert!(ch.large_scale.get(j, k) > 0.0);
                 // Composite gain magnitude should be within a plausible factor of the
                 // large-scale gain (fading rarely exceeds ~20 dB swings).
-                let ratio = ch.h.get(j, k).norm() / ch.large_scale[j][k];
+                let ratio = ch.h.get(j, k).norm() / ch.large_scale.get(j, k);
                 prop_assert!(ratio < 100.0);
             }
         }

@@ -39,6 +39,7 @@ const PINNED: &[&str] = &[
     "sim/session.rs: fn traffic",
     "sim/session.rs: fn rounds",
     "sim/session.rs: fn tag_width",
+    "sim/session.rs: fn coherence_interval_rounds",
     "sim/session.rs: fn seed_mix",
     "sim/session.rs: fn threads",
     "sim/session.rs: fn build",

@@ -12,6 +12,8 @@
 //! * [`Complex`] — a `f64`-based complex number with the full operator set.
 //! * [`CMat`] — a dense, row-major complex matrix with constructors,
 //!   arithmetic, slicing helpers and norms.
+//! * [`FMat`] — its real (`f64`) counterpart, the structure-of-arrays store
+//!   for per-link scalar state such as large-scale gains.
 //! * [`decompose`] — LU (partial pivoting), Householder QR and one-sided
 //!   Jacobi SVD factorisations.
 //! * [`pinv`] — Moore–Penrose pseudoinverse built on the SVD.
@@ -42,12 +44,14 @@
 
 pub mod complex;
 pub mod decompose;
+pub mod fmat;
 pub mod matrix;
 pub mod pinv;
 pub mod solve;
 
 pub use complex::Complex;
-pub use matrix::CMat;
+pub use fmat::FMat;
+pub use matrix::{caxpy, cdot, CMat};
 
 /// Convenience alias used across the workspace for real scalars.
 pub type Real = f64;

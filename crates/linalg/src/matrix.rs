@@ -11,6 +11,37 @@ use crate::complex::Complex;
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
 
+/// Complex dot product `sum_k a[k] * b[k]` (no conjugation), accumulated in
+/// ascending index order.
+///
+/// The plain left-to-right accumulation is deliberate: every caller in the
+/// simulator relies on bit-reproducible sums, so this must stay a simple
+/// ordered loop (no pairwise/tree reduction).
+///
+/// # Panics
+/// Panics when the slices differ in length.
+#[inline]
+pub fn cdot(a: &[Complex], b: &[Complex]) -> Complex {
+    assert_eq!(a.len(), b.len(), "cdot: length mismatch");
+    let mut acc = Complex::ZERO;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Complex axpy: `y[k] += alpha * x[k]` in place, ascending index order.
+///
+/// # Panics
+/// Panics when the slices differ in length.
+#[inline]
+pub fn caxpy(alpha: Complex, x: &[Complex], y: &mut [Complex]) {
+    assert_eq!(x.len(), y.len(), "caxpy: length mismatch");
+    for (o, &v) in y.iter_mut().zip(x.iter()) {
+        *o += alpha * v;
+    }
+}
+
 /// A dense complex matrix stored in row-major order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CMat {
@@ -146,10 +177,21 @@ impl CMat {
         self.data[r * self.cols + c] = v;
     }
 
-    /// Returns a copy of row `r`.
-    pub fn row(&self, r: usize) -> Vec<Complex> {
+    /// Borrowed view of row `r` (the matrix is row-major, so a row is a
+    /// contiguous slice).  Zero-copy — the hot paths (batched SINR and
+    /// interference accumulation) iterate rows without per-element index
+    /// arithmetic or allocation.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[Complex] {
         assert!(r < self.rows);
-        self.data[r * self.cols..(r + 1) * self.cols].to_vec()
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [Complex] {
+        assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Returns a copy of column `c`.
@@ -211,13 +253,43 @@ impl CMat {
                 if a == Complex::ZERO {
                     continue;
                 }
-                for j in 0..rhs.cols {
-                    let cur = out.get(i, j);
-                    out.set(i, j, cur + a * rhs.get(k, j));
-                }
+                caxpy(a, rhs.row(k), out.row_mut(i));
             }
         }
         out
+    }
+
+    /// Writes the diagonal of `self * rhs` into `out` without forming the
+    /// full product: `out[j] = sum_k self[j,k] * rhs[k,j]`.
+    ///
+    /// Accumulation matches [`CMat::mul`] term for term (ascending `k`,
+    /// skipping exact-zero entries of `self`), so each value is bit-identical
+    /// to `self.mul(rhs).get(j, j)` — at O(n²) instead of O(n³) and reusing
+    /// the caller's buffer.  This is what the power-balanced water-filling
+    /// loop needs: with zero-forcing directions only the diagonal of the
+    /// effective channel is ever read.
+    ///
+    /// # Panics
+    /// Panics on incompatible inner dimensions.
+    pub fn mul_diag_into(&self, rhs: &CMat, out: &mut Vec<Complex>) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "CMat::mul_diag_into: incompatible shapes {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let n = self.rows.min(rhs.cols);
+        out.clear();
+        for j in 0..n {
+            let mut acc = Complex::ZERO;
+            for k in 0..self.cols {
+                let a = self.get(j, k);
+                if a == Complex::ZERO {
+                    continue;
+                }
+                acc += a * rhs.get(k, j);
+            }
+            out.push(acc);
+        }
     }
 
     /// Matrix–vector product `self * v` where `v` has `cols` entries.
@@ -225,11 +297,7 @@ impl CMat {
         assert_eq!(self.cols, v.len(), "CMat::mul_vec: dimension mismatch");
         let mut out = vec![Complex::ZERO; self.rows];
         for (i, o) in out.iter_mut().enumerate() {
-            let mut acc = Complex::ZERO;
-            for (j, &x) in v.iter().enumerate() {
-                acc += self.get(i, j) * x;
-            }
-            *o = acc;
+            *o = cdot(self.row(i), v);
         }
         out
     }
@@ -402,6 +470,95 @@ mod tests {
 
     fn c(re: f64, im: f64) -> Complex {
         Complex::new(re, im)
+    }
+
+    /// Deterministic pseudo-random matrix for bit-identity checks.
+    fn lcg_mat(rows: usize, cols: usize, mut state: u64) -> CMat {
+        let mut m = CMat::zeros(rows, cols);
+        for r in 0..rows {
+            for cc in 0..cols {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let re = ((state >> 33) as f64) / (1u64 << 31) as f64 - 1.0;
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let im = ((state >> 33) as f64) / (1u64 << 31) as f64 - 1.0;
+                m.set(r, cc, c(re, im));
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn cdot_matches_manual_accumulation() {
+        let a = [c(1.0, 2.0), c(-0.5, 0.25), c(3.0, -1.0)];
+        let b = [c(0.5, -1.5), c(2.0, 2.0), c(-1.0, 0.0)];
+        let mut acc = Complex::ZERO;
+        for k in 0..3 {
+            acc += a[k] * b[k];
+        }
+        assert_eq!(cdot(&a, &b), acc);
+    }
+
+    #[test]
+    fn caxpy_matches_manual_accumulation() {
+        let alpha = c(0.7, -0.3);
+        let x = [c(1.0, 1.0), c(-2.0, 0.5)];
+        let mut y = [c(0.25, -0.75), c(4.0, 4.0)];
+        let mut expect = y;
+        for (e, &xv) in expect.iter_mut().zip(x.iter()) {
+            *e += alpha * xv;
+        }
+        caxpy(alpha, &x, &mut y);
+        assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn row_views_are_zero_copy_and_consistent_with_get() {
+        let m = lcg_mat(3, 4, 7);
+        for r in 0..3 {
+            let row = m.row(r);
+            assert_eq!(row.len(), 4);
+            for (cc, &v) in row.iter().enumerate() {
+                assert_eq!(v, m.get(r, cc));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_diag_into_is_bit_identical_to_full_product_diagonal() {
+        // Square, tall and wide cases, including exact-zero entries so the
+        // sparsity skip path is exercised on both sides.
+        for (rows, inner, cols, seed) in [(4, 4, 4, 1u64), (3, 5, 4, 2), (6, 2, 3, 3)] {
+            let mut a = lcg_mat(rows, inner, seed);
+            let b = lcg_mat(inner, cols, seed ^ 0xDEAD);
+            a.set(0, 0, Complex::ZERO);
+            if inner > 1 {
+                a.set(rows - 1, inner - 1, Complex::ZERO);
+            }
+            let full = a.mul(&b);
+            let mut diag = Vec::new();
+            a.mul_diag_into(&b, &mut diag);
+            let n = rows.min(cols);
+            assert_eq!(diag.len(), n);
+            for (j, &d) in diag.iter().enumerate() {
+                assert_eq!(d, full.get(j, j), "entry {j} ({rows}x{inner}x{cols})");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_diag_into_reuses_the_buffer() {
+        let a = lcg_mat(4, 4, 11);
+        let b = lcg_mat(4, 4, 12);
+        let mut diag = Vec::with_capacity(8);
+        diag.push(c(9.0, 9.0)); // stale content must be cleared
+        let cap = diag.capacity();
+        a.mul_diag_into(&b, &mut diag);
+        assert_eq!(diag.len(), 4);
+        assert_eq!(diag.capacity(), cap);
     }
 
     #[test]

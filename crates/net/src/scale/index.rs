@@ -35,6 +35,9 @@ pub struct SpatialIndex {
     /// `cells[row * cols + col]` holds the ids of the points binned there.
     cells: Vec<Vec<u32>>,
     points: Vec<Point>,
+    /// Indices of the currently occupied cells, so [`SpatialIndex::clear`]
+    /// touches O(occupied) cells instead of sweeping the whole grid.
+    touched: Vec<u32>,
 }
 
 impl SpatialIndex {
@@ -64,6 +67,7 @@ impl SpatialIndex {
             rows,
             cells: vec![Vec::new(); cols * rows],
             points: Vec::new(),
+            touched: Vec::new(),
         }
     }
 
@@ -108,9 +112,41 @@ impl SpatialIndex {
     pub fn insert(&mut self, p: Point) -> usize {
         let id = self.points.len();
         let (col, row) = self.cell_of(&p);
-        self.cells[row * self.cols + col].push(id as u32);
+        let cell_idx = row * self.cols + col;
+        let cell = &mut self.cells[cell_idx];
+        if cell.is_empty() {
+            self.touched.push(cell_idx as u32);
+        }
+        cell.push(id as u32);
         self.points.push(p);
         id
+    }
+
+    /// Empties the index while keeping every allocation (grid, per-cell id
+    /// lists, point list).  Only the occupied cells are visited, so a
+    /// clear-and-refill round costs O(points), not O(grid cells) — this is
+    /// what lets the simulator keep one persistent index per purpose instead
+    /// of rebuilding (and reallocating) it every round.
+    pub fn clear(&mut self) {
+        for &c in &self.touched {
+            self.cells[c as usize].clear();
+        }
+        self.touched.clear();
+        self.points.clear();
+    }
+
+    /// Bytes of heap the index currently retains (capacities, not lengths).
+    /// Stable across clear/refill cycles once warm, which the steady-state
+    /// allocation tests assert.
+    pub fn heap_footprint_bytes(&self) -> usize {
+        self.cells.capacity() * std::mem::size_of::<Vec<u32>>()
+            + self
+                .cells
+                .iter()
+                .map(|c| c.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+            + self.points.capacity() * std::mem::size_of::<Point>()
+            + self.touched.capacity() * std::mem::size_of::<u32>()
     }
 
     /// Ids of every indexed point within `radius` of `p` (inclusive), in
@@ -120,23 +156,31 @@ impl SpatialIndex {
     /// window clamps to the whole grid — so callers can use one code path
     /// whether or not a finite interaction range is configured.
     pub fn neighbors_within(&self, p: &Point, radius: f64) -> Vec<usize> {
+        let mut ids = Vec::new();
+        self.neighbors_within_into(p, radius, &mut ids);
+        ids
+    }
+
+    /// Allocation-free variant of [`SpatialIndex::neighbors_within`]: clears
+    /// `out` and fills it with the matching ids in ascending id order.  The
+    /// round loop reuses one scratch buffer across every query of a round.
+    pub fn neighbors_within_into(&self, p: &Point, radius: f64, out: &mut Vec<usize>) {
         debug_assert!(radius >= 0.0, "negative query radius");
+        out.clear();
         let col_lo = self.axis_cell(p.x - radius, self.bounds.min.x, self.cols);
         let col_hi = self.axis_cell(p.x + radius, self.bounds.min.x, self.cols);
         let row_lo = self.axis_cell(p.y - radius, self.bounds.min.y, self.rows);
         let row_hi = self.axis_cell(p.y + radius, self.bounds.min.y, self.rows);
-        let mut ids: Vec<usize> = Vec::new();
         for row in row_lo..=row_hi {
             for col in col_lo..=col_hi {
                 for &id in &self.cells[row * self.cols + col] {
                     if self.points[id as usize].distance(p) <= radius {
-                        ids.push(id as usize);
+                        out.push(id as usize);
                     }
                 }
             }
         }
-        ids.sort_unstable();
-        ids
+        out.sort_unstable();
     }
 
     /// Reference implementation of [`SpatialIndex::neighbors_within`]: a
@@ -259,6 +303,38 @@ mod tests {
         let index = SpatialIndex::new(region, 1e-9);
         // The clamp keeps the grid at ~100x100 cells rather than 1e11 x 1e11.
         assert!(index.cols <= 102 && index.rows <= 102);
+    }
+
+    #[test]
+    fn clear_then_refill_matches_a_fresh_index_without_growing() {
+        let region = Rect::new(Point::new(0.0, 0.0), 80.0, 60.0);
+        let mut rng = SimRng::new(7);
+        let mut reused = SpatialIndex::new(region, 12.0);
+        let mut footprint_after_warmup = None;
+        let pts = random_points(48, &region, &mut rng);
+        for trial in 0..10 {
+            reused.clear();
+            for &p in &pts {
+                reused.insert(p);
+            }
+            let fresh = SpatialIndex::from_points(region, 12.0, &pts);
+            let q = Point::new(rng.uniform_range(0.0, 80.0), rng.uniform_range(0.0, 60.0));
+            let r = rng.uniform_range(0.0, 40.0);
+            let mut into = Vec::new();
+            reused.neighbors_within_into(&q, r, &mut into);
+            assert_eq!(into, fresh.neighbors_within(&q, r), "trial {trial}");
+            // Footprint must stabilise after the first fill: same point
+            // count, same cells — clearing retains every allocation.
+            if trial == 1 {
+                footprint_after_warmup = Some(reused.heap_footprint_bytes());
+            } else if trial > 1 {
+                assert_eq!(
+                    reused.heap_footprint_bytes(),
+                    footprint_after_warmup.unwrap(),
+                    "trial {trial}: index grew after warm-up"
+                );
+            }
+        }
     }
 
     #[test]

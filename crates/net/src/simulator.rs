@@ -27,7 +27,7 @@ use midas_mac::drr::DrrScheduler;
 use midas_mac::tagging::TagTable;
 use midas_mac::timing::DEFAULT_TXOP_US;
 use midas_phy::capacity::shannon_capacity_bps_hz;
-use midas_phy::precoder::{make_precoder, PrecoderKind};
+use midas_phy::precoder::{make_precoder, Precoder, PrecoderKind};
 
 /// Which MAC discipline the APs run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +79,13 @@ pub struct NetworkSimConfig {
     pub interaction_range_m: f64,
     /// Neighbourhood scan implementation (results are bit-identical).
     pub scan: ScanMode,
+    /// Channel-realisation cache length in rounds: channels evolve (fresh
+    /// fading draws) only every this-many rounds, covering the elapsed time
+    /// in one step.  `1` (the constructor default) evolves every round and
+    /// reproduces the legacy simulator bit for bit; larger values model a
+    /// coherence interval longer than one TXOP and skip the evolution work
+    /// on the cached rounds entirely.
+    pub coherence_interval_rounds: usize,
     /// Contention semantics: the legacy binary carrier-sense graph
     /// (default, bit-identical to the pre-capture simulator) or the
     /// physical energy-detect + SINR-capture model (`crate::capture`).
@@ -98,6 +105,7 @@ impl NetworkSimConfig {
             interaction_range_m: f64::INFINITY,
             scan: ScanMode::Indexed,
             contention: ContentionModel::Graph,
+            coherence_interval_rounds: 1,
         }
     }
 
@@ -113,6 +121,7 @@ impl NetworkSimConfig {
             interaction_range_m: f64::INFINITY,
             scan: ScanMode::Indexed,
             contention: ContentionModel::Graph,
+            coherence_interval_rounds: 1,
         }
     }
 
@@ -218,6 +227,10 @@ impl TopologyResult {
 }
 
 /// One concurrent transmission inside a round.
+///
+/// Lives in the workspace's slot pool: the index buffers are cleared and
+/// refilled round over round (retaining capacity), only the precoding matrix
+/// is replaced wholesale (the precoder produces a fresh one).
 struct ActiveTransmission {
     ap_id: usize,
     /// AP-local indices of the antennas used.
@@ -226,6 +239,135 @@ struct ActiveTransmission {
     clients: Vec<usize>,
     /// Precoding matrix (antennas × streams).
     v: CMat,
+}
+
+impl ActiveTransmission {
+    fn empty() -> Self {
+        ActiveTransmission {
+            ap_id: 0,
+            antenna_idx: Vec::new(),
+            clients: Vec::new(),
+            v: CMat::zeros(0, 0),
+        }
+    }
+}
+
+/// All per-round scratch of the staged round pipeline
+/// (`evolve → backlog → sense → select → precode → evaluate → settle`).
+///
+/// The simulator owns exactly one of these and threads it through every
+/// stage; every buffer is cleared — never reallocated — between rounds, the
+/// spatial indexes are emptied in place, and the global↔local client id maps
+/// are prebuilt at construction time.  Once warm, a steady-state round
+/// allocates nothing from this struct (the remaining per-round allocations
+/// are the precoder's internal matrices and the small selection vectors the
+/// `midas-mac` helpers return); `NetworkSimulator::workspace_heap_footprint_bytes`
+/// exposes the retained capacity so tests can pin that it stops growing.
+#[derive(Default)]
+struct RoundWorkspace {
+    /// AP access order, reshuffled every round (the backoff race).
+    order: Vec<usize>,
+    /// Positions of the antennas already on the air this round.
+    active_antenna_positions: Vec<Point>,
+    /// Persistent spatial mirror of `active_antenna_positions` supporting
+    /// O(k) "who can I hear?" queries; ids are insertion-ordered, so folding
+    /// over a neighbourhood reproduces the brute-force sweep bit-for-bit.
+    /// `None` when the indexed scan is disabled.
+    active_index: Option<SpatialIndex>,
+    /// Persistent index over the round's transmitting antennas, for the
+    /// cross-AP interferer lookup in the evaluate stage.
+    interferer_index: Option<SpatialIndex>,
+    /// Active-antenna id (insertion order) → index into the live
+    /// transmissions, aligned with `interferer_index`.
+    tx_of_antenna: Vec<usize>,
+    /// Backlogged AP-local client ids (traffic-model query scratch).
+    backlogged: Vec<usize>,
+    /// Antennas of the AP currently planning that cleared carrier sense.
+    available: Vec<usize>,
+    /// Shared scratch for every spatial neighbourhood query of the round.
+    neighbors: Vec<usize>,
+    /// Deduped interfering-transmission ids for one stream.
+    interferers: Vec<usize>,
+    /// Transmission slot pool; `live` slots are current this round, the
+    /// rest keep their buffers for later rounds.
+    transmissions: Vec<ActiveTransmission>,
+    live: usize,
+    /// `(client, serving AP, capacity)` triples of the current round.
+    capacities: Vec<(usize, usize, f64)>,
+    /// AP ids transmitting this round (observer record scratch).
+    transmitting_aps: Vec<usize>,
+    /// Settle-stage scratch: served / unserved AP-local ids and the
+    /// membership mask that replaces the old quadratic `contains` scan.
+    served: Vec<usize>,
+    unserved: Vec<usize>,
+    served_mask: Vec<bool>,
+    /// Per-AP global ids of the AP's own clients, in `clients_of` order —
+    /// prebuilt so the round loop never re-filters the client list.
+    own_clients: Vec<Vec<usize>>,
+    /// Global client id → AP-local index within its owning AP.
+    local_of: Vec<u32>,
+}
+
+impl RoundWorkspace {
+    /// Builds the workspace for a topology: id maps prebuilt, spatial
+    /// indexes constructed (empty) when the indexed scan is active.
+    fn for_simulator(topo: &Topology, config: &NetworkSimConfig) -> Self {
+        let mut own_clients: Vec<Vec<usize>> = vec![Vec::new(); topo.aps.len()];
+        let mut local_of = vec![0u32; topo.clients.len()];
+        for c in &topo.clients {
+            local_of[c.id] = own_clients[c.ap_id].len() as u32;
+            own_clients[c.ap_id].push(c.id);
+        }
+        let make_index = || {
+            config
+                .use_index()
+                .then(|| SpatialIndex::new(topo.region, config.index_cell_m()))
+        };
+        RoundWorkspace {
+            active_index: make_index(),
+            interferer_index: make_index(),
+            own_clients,
+            local_of,
+            ..RoundWorkspace::default()
+        }
+    }
+
+    /// Bytes of heap the workspace retains (capacities, not lengths).  The
+    /// precoding matrices inside the slot pool are excluded: they are
+    /// replaced — not reused — every round, so their size reflects the last
+    /// round's stream counts rather than retained scratch.
+    fn heap_footprint_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let idx =
+            |i: &Option<SpatialIndex>| i.as_ref().map_or(0, SpatialIndex::heap_footprint_bytes);
+        self.order.capacity() * size_of::<usize>()
+            + self.active_antenna_positions.capacity() * size_of::<Point>()
+            + idx(&self.active_index)
+            + idx(&self.interferer_index)
+            + self.tx_of_antenna.capacity() * size_of::<usize>()
+            + self.backlogged.capacity() * size_of::<usize>()
+            + self.available.capacity() * size_of::<usize>()
+            + self.neighbors.capacity() * size_of::<usize>()
+            + self.interferers.capacity() * size_of::<usize>()
+            + self.transmissions.capacity() * size_of::<ActiveTransmission>()
+            + self
+                .transmissions
+                .iter()
+                .map(|t| (t.antenna_idx.capacity() + t.clients.capacity()) * size_of::<usize>())
+                .sum::<usize>()
+            + self.capacities.capacity() * size_of::<(usize, usize, f64)>()
+            + self.transmitting_aps.capacity() * size_of::<usize>()
+            + self.served.capacity() * size_of::<usize>()
+            + self.unserved.capacity() * size_of::<usize>()
+            + self.served_mask.capacity() * size_of::<bool>()
+            + self.own_clients.capacity() * size_of::<Vec<usize>>()
+            + self
+                .own_clients
+                .iter()
+                .map(|v| v.capacity() * size_of::<usize>())
+                .sum::<usize>()
+            + self.local_of.capacity() * size_of::<u32>()
+    }
 }
 
 /// One AP's channel state, restricted to the clients in radio range.
@@ -246,11 +388,6 @@ struct ApChannel {
 impl ApChannel {
     fn row(&self, client: usize) -> usize {
         self.row_of[client].expect("channel row requested for an out-of-range client") as usize
-    }
-
-    /// Channel coefficient from AP-local antenna `k` to a global client.
-    fn h_get(&self, client: usize, antenna: usize) -> midas_linalg::Complex {
-        self.ch.h.get(self.row(client), antenna)
     }
 
     /// Mean RSSI (dBm) of a global client from AP-local antenna `k`.
@@ -283,6 +420,14 @@ pub struct NetworkSimulator {
     /// Defaults to [`FullBuffer`], which reproduces the pre-traffic-model
     /// simulator byte for byte.
     traffic: Box<dyn TrafficModel>,
+    /// The precoder every AP runs, constructed once at build time — the
+    /// round loop used to re-box one per AP per round.
+    precoder: Box<dyn Precoder + Send + Sync>,
+    /// All per-round scratch, reused across rounds (and runs).
+    workspace: RoundWorkspace,
+    /// Test knob: rebuild `workspace` from scratch every round, to prove
+    /// reuse is observationally free (see `proptest_workspace.rs`).
+    fresh_workspace_per_round: bool,
 }
 
 impl NetworkSimulator {
@@ -362,6 +507,7 @@ impl NetworkSimulator {
             tags.push(TagTable::from_rssi(&rssi, config.tag_width));
         }
 
+        let workspace = RoundWorkspace::for_simulator(&topo, &config);
         NetworkSimulator {
             topo,
             config,
@@ -372,7 +518,26 @@ impl NetworkSimulator {
             drr,
             tags,
             traffic: Box::new(FullBuffer),
+            precoder: make_precoder(config.precoder),
+            workspace,
+            fresh_workspace_per_round: false,
         }
+    }
+
+    /// Test knob: discard and rebuild the round workspace every round
+    /// instead of reusing it.  Results must be — and are pinned by property
+    /// tests to be — bit-identical either way; this exists only so that
+    /// equivalence is checkable.
+    pub fn with_fresh_workspace_per_round(mut self) -> Self {
+        self.fresh_workspace_per_round = true;
+        self
+    }
+
+    /// Bytes of heap currently retained by the per-round workspace
+    /// (capacities, not lengths).  Once the simulation is warm this stops
+    /// growing: steady-state rounds allocate nothing from the workspace.
+    pub fn workspace_heap_footprint_bytes(&self) -> usize {
+        self.workspace.heap_footprint_bytes()
     }
 
     /// Replaces the traffic model (default: [`FullBuffer`]) with a custom
@@ -411,182 +576,238 @@ impl NetworkSimulator {
     /// Runs the configured number of rounds, streaming each round into
     /// `observer` instead of accumulating anything — peak memory is the
     /// observer's, flat in the round count for fixed-size observers.
+    ///
+    /// Each round is an explicit staged pipeline —
+    /// `evolve → backlog → sense → select → precode → evaluate → settle` —
+    /// threaded through the simulator's round workspace: `evolve_stage`
+    /// advances the channels, `plan_stage` covers backlog through precode,
+    /// `evaluate_stage` computes deliveries, and `settle_stage` updates
+    /// fairness and queues.
     pub fn run_with(&mut self, observer: &mut dyn Observer) {
         observer.on_start(
             self.topo.clients.len(),
             self.topo.aps.len(),
             self.config.rounds,
         );
-        let mut transmitting_aps: Vec<usize> = Vec::new();
+        // The workspace leaves `self` for the duration of the run so the
+        // stages can borrow simulator state and scratch independently.
+        let mut ws = std::mem::take(&mut self.workspace);
+        if ws.own_clients.len() != self.topo.aps.len() {
+            // Defensive: a default-constructed workspace (nothing prebuilt)
+            // can only appear if a previous run panicked mid-flight.
+            ws = RoundWorkspace::for_simulator(&self.topo, &self.config);
+        }
         for round in 0..self.config.rounds {
-            // Channel evolves between rounds (one TXOP apart).
-            for apch in &mut self.channels {
-                apch.ch = self.model.evolve(&apch.ch, DEFAULT_TXOP_US as f64 * 1e-6);
+            if self.fresh_workspace_per_round {
+                ws = RoundWorkspace::for_simulator(&self.topo, &self.config);
             }
-            let transmissions = self.plan_round(round);
-            let capacities = self.evaluate_round(&transmissions);
+            self.evolve_stage(round);
+            self.plan_stage(round, &mut ws);
+            self.evaluate_stage(&mut ws);
 
-            transmitting_aps.clear();
-            transmitting_aps.extend(transmissions.iter().map(|t| t.ap_id));
-            let total_streams: usize = transmissions.iter().map(|t| t.clients.len()).sum();
+            ws.transmitting_aps.clear();
+            ws.transmitting_aps
+                .extend(ws.transmissions[..ws.live].iter().map(|t| t.ap_id));
+            let total_streams: usize = ws.transmissions[..ws.live]
+                .iter()
+                .map(|t| t.clients.len())
+                .sum();
             observer.on_round(&RoundRecord {
                 round,
-                deliveries: &capacities,
-                transmitting_aps: &transmitting_aps,
+                deliveries: &ws.capacities,
+                transmitting_aps: &ws.transmitting_aps,
                 streams: total_streams,
             });
 
-            // Fairness counter and traffic-queue updates per AP.
-            for t in &transmissions {
-                let ap_clients = self.topo.clients_of(t.ap_id);
-                let local_of = |global: usize| ap_clients.iter().position(|c| c.id == global);
-                let served: Vec<usize> = t.clients.iter().filter_map(|&g| local_of(g)).collect();
-                let unserved: Vec<usize> = (0..ap_clients.len())
-                    .filter(|l| !served.contains(l))
-                    .collect();
-                self.drr[t.ap_id].update_after_txop(&served, &unserved, DEFAULT_TXOP_US);
-                for &l in &served {
-                    self.traffic.served(t.ap_id, l);
-                }
-            }
+            self.settle_stage(&mut ws);
+        }
+        self.workspace = ws;
+    }
+
+    /// Pipeline stage 1 — channel evolution.  Channels advance one coherence
+    /// interval (default: every round, one TXOP) in place; rounds inside the
+    /// interval reuse the cached realisation.
+    fn evolve_stage(&mut self, round: usize) {
+        let interval = self.config.coherence_interval_rounds.max(1);
+        if !round.is_multiple_of(interval) {
+            return;
+        }
+        let delay_s = interval as f64 * DEFAULT_TXOP_US as f64 * 1e-6;
+        for apch in &mut self.channels {
+            self.model.evolve_in_place(&mut apch.ch, delay_s);
         }
     }
 
-    /// Decides who transmits in one round.
-    fn plan_round(&mut self, round: usize) -> Vec<ActiveTransmission> {
+    /// Pipeline stages 2–5 — backlog, sense, select, precode: decides who
+    /// transmits this round, filling the workspace's transmission slots.
+    fn plan_stage(&mut self, round: usize, ws: &mut RoundWorkspace) {
         let num_aps = self.topo.aps.len();
-        let mut order: Vec<usize> = (0..num_aps).collect();
-        self.rng.shuffle(&mut order);
-
         let cutoff = self.config.interaction_range_m;
-        let mut active_antenna_positions: Vec<Point> = Vec::new();
-        // Mirror of `active_antenna_positions` supporting O(k) "who can I
-        // hear?" queries; ids are insertion-ordered, so folding over a
-        // neighbourhood reproduces the brute-force sweep bit-for-bit.
-        let mut active_index = self
-            .config
-            .use_index()
-            .then(|| SpatialIndex::new(self.topo.region, self.config.index_cell_m()));
-        let mut transmissions: Vec<ActiveTransmission> = Vec::new();
 
-        for &ap_id in &order {
+        // Split the workspace into per-field borrows so the sensing closure
+        // (reading active antennas) and the slot writes (mutating buffers)
+        // coexist without aliasing.
+        let RoundWorkspace {
+            order,
+            active_antenna_positions,
+            active_index,
+            backlogged,
+            available,
+            neighbors,
+            transmissions,
+            live,
+            own_clients,
+            ..
+        } = ws;
+
+        order.clear();
+        order.extend(0..num_aps);
+        self.rng.shuffle(order);
+
+        active_antenna_positions.clear();
+        if let Some(index) = active_index.as_mut() {
+            index.clear();
+        }
+        *live = 0;
+
+        for &ap_id in order.iter() {
             let ap = &self.topo.aps[ap_id];
-            let own_clients = self.topo.clients_of(ap_id);
-            if own_clients.is_empty() {
+            let own = &own_clients[ap_id];
+            if own.is_empty() {
                 continue;
             }
-            // Which of this AP's clients have downlink data this round?
-            // Full-buffer answers "all of them" without touching any RNG,
-            // so the legacy figures are unchanged; lighter workloads thin
-            // the candidate set (an AP with nothing queued stays silent).
-            let backlogged = self.traffic.backlogged(ap_id, own_clients.len(), round);
+            // Backlog: which of this AP's clients have downlink data this
+            // round?  Full-buffer answers "all of them" without touching any
+            // RNG, so the legacy figures are unchanged; lighter workloads
+            // thin the candidate set (an AP with nothing queued stays
+            // silent).
+            self.traffic
+                .backlogged_into(ap_id, own.len(), round, backlogged);
             if backlogged.is_empty() {
                 continue;
             }
 
-            // Energy-detection carrier sensing against the transmitters
-            // already on the air, truncated at the interaction range.  The
-            // contention model only changes which graph (threshold /
-            // sensing field) `self.graph` was built from — the sensing
-            // arithmetic is shared, so both models and both scan modes
-            // visit the surviving antennas in the same order.
-            let senses = |antenna: &Point| -> bool {
-                match &active_index {
-                    None => {
-                        self.graph
-                            .senses_any_within(antenna, &active_antenna_positions, cutoff)
+            // Sense: energy-detection carrier sensing against the
+            // transmitters already on the air, truncated at the interaction
+            // range.  The contention model only changes which graph
+            // (threshold / sensing field) `self.graph` was built from — the
+            // sensing arithmetic is shared, so both models and both scan
+            // modes visit the surviving antennas in the same order.
+            let graph = &self.graph;
+            let positions = &*active_antenna_positions;
+            let index_ref = active_index.as_ref();
+            let senses = |antenna: &Point, scratch: &mut Vec<usize>| -> bool {
+                match index_ref {
+                    None => graph.senses_any_within(antenna, positions, cutoff),
+                    Some(index) => {
+                        index.neighbors_within_into(antenna, cutoff, scratch);
+                        graph.senses_aggregate(antenna, scratch.iter().map(|&id| &positions[id]))
                     }
-                    Some(index) => self.graph.senses_aggregate(
-                        antenna,
-                        index
-                            .neighbors_within(antenna, cutoff)
-                            .into_iter()
-                            .map(|id| &active_antenna_positions[id]),
-                    ),
                 }
             };
 
             // Which antennas may transmit given what is already on the air?
-            let available: Vec<usize> = match self.config.mac {
-                MacKind::Midas => (0..ap.num_antennas())
-                    .filter(|&k| !senses(&ap.antennas[k]))
-                    .collect(),
+            available.clear();
+            match self.config.mac {
+                MacKind::Midas => available.extend(
+                    (0..ap.num_antennas()).filter(|&k| !senses(&ap.antennas[k], neighbors)),
+                ),
                 MacKind::Cas => {
-                    let busy = ap.antennas.iter().any(&senses);
-                    if busy {
-                        Vec::new()
-                    } else {
-                        (0..ap.num_antennas()).collect()
+                    let busy = ap.antennas.iter().any(|a| senses(a, neighbors));
+                    if !busy {
+                        available.extend(0..ap.num_antennas());
                     }
                 }
-            };
+            }
             if available.is_empty() {
                 continue;
             }
 
-            // Client selection.
+            // Select.
             let local_selected: Vec<usize> = match self.config.mac {
                 MacKind::Midas => {
-                    let eligible = self.tags[ap_id].filter_clients(&backlogged, &available);
-                    select_clients_midas(&available, &eligible, &self.tags[ap_id], &self.drr[ap_id])
+                    let eligible = self.tags[ap_id].filter_clients(backlogged, available);
+                    select_clients_midas(available, &eligible, &self.tags[ap_id], &self.drr[ap_id])
                 }
-                MacKind::Cas => select_clients_cas(available.len(), &backlogged, &self.drr[ap_id]),
+                MacKind::Cas => select_clients_cas(available.len(), backlogged, &self.drr[ap_id]),
             };
             if local_selected.is_empty() {
                 continue;
             }
-            let global_selected: Vec<usize> =
-                local_selected.iter().map(|&l| own_clients[l].id).collect();
 
-            // Precoding over the (selected clients × available antennas) channel.
-            let sub = self.channels[ap_id].select(&global_selected, &available);
-            let precoder = make_precoder(self.config.precoder);
-            let precoding = precoder.precode(&sub.h, sub.tx_power_mw, sub.noise_mw);
+            // Claim a transmission slot (buffers retained from prior rounds).
+            if transmissions.len() == *live {
+                transmissions.push(ActiveTransmission::empty());
+            }
+            let slot = &mut transmissions[*live];
+            slot.ap_id = ap_id;
+            slot.clients.clear();
+            slot.clients.extend(local_selected.iter().map(|&l| own[l]));
+            slot.antenna_idx.clear();
+            slot.antenna_idx.extend_from_slice(available);
 
-            for &k in &available {
+            // Precode over the (selected clients × available antennas) channel.
+            let sub = self.channels[ap_id].select(&slot.clients, &slot.antenna_idx);
+            let precoding = self.precoder.precode(&sub.h, sub.tx_power_mw, sub.noise_mw);
+            slot.v = precoding.v;
+
+            for &k in slot.antenna_idx.iter() {
                 active_antenna_positions.push(ap.antennas[k]);
-                if let Some(index) = &mut active_index {
+                if let Some(index) = active_index.as_mut() {
                     index.insert(ap.antennas[k]);
                 }
             }
-            transmissions.push(ActiveTransmission {
-                ap_id,
-                antenna_idx: available,
-                clients: global_selected,
-                v: precoding.v,
-            });
+            *live += 1;
         }
-        transmissions
     }
 
-    /// Computes per-client capacities including cross-AP interference.
+    /// Pipeline stage 6 — evaluate: computes per-client capacities including
+    /// cross-AP interference, filling `ws.capacities` with
+    /// `(client, serving AP, capacity)` triples.
     ///
-    /// Returns `(client, serving AP, capacity)` triples.  A concurrent
-    /// transmission only interferes with a client when at least one of its
-    /// transmitting antennas is within the interaction range; both scan
-    /// modes apply that rule and visit interferers in transmission order, so
-    /// the capacities are bit-identical between them.
-    fn evaluate_round(&self, transmissions: &[ActiveTransmission]) -> Vec<(usize, usize, f64)> {
+    /// A concurrent transmission only interferes with a client when at least
+    /// one of its transmitting antennas is within the interaction range; both
+    /// scan modes apply that rule and visit interferers in transmission
+    /// order, so the capacities are bit-identical between them.
+    fn evaluate_stage(&self, ws: &mut RoundWorkspace) {
         let cutoff = self.config.interaction_range_m;
+        let RoundWorkspace {
+            interferer_index,
+            tx_of_antenna,
+            neighbors,
+            interferers,
+            transmissions,
+            live,
+            capacities,
+            ..
+        } = ws;
+        let transmissions = &transmissions[..*live];
+
         // Map every active antenna back to its transmission for the indexed
         // interferer lookup.
-        let interferer_index = self.config.use_index().then(|| {
-            let mut index = SpatialIndex::new(self.topo.region, self.config.index_cell_m());
-            let mut tx_of_antenna = Vec::new();
+        if self.config.use_index() {
+            let index = interferer_index.get_or_insert_with(|| {
+                SpatialIndex::new(self.topo.region, self.config.index_cell_m())
+            });
+            index.clear();
+            tx_of_antenna.clear();
             for (tx_idx, t) in transmissions.iter().enumerate() {
                 for &k in &t.antenna_idx {
                     index.insert(self.topo.aps[t.ap_id].antennas[k]);
                     tx_of_antenna.push(tx_idx);
                 }
             }
-            (index, tx_of_antenna)
-        });
+        }
 
-        let mut out = Vec::new();
+        capacities.clear();
         for (tx_idx, t) in transmissions.iter().enumerate() {
             let ch = &self.channels[t.ap_id];
             for (stream_idx, &client) in t.clients.iter().enumerate() {
                 let client_pos = &self.topo.clients[client].position;
+                // The client's channel row towards every antenna of the
+                // serving AP, hoisted once per stream instead of one
+                // row-lookup per (antenna, stream) pair.
+                let h_row = ch.ch.h.row(ch.row(client));
                 // Desired + intra-AP interference from this transmission.
                 // Intra-AP leakage is tracked separately from cross-AP
                 // interference: the serving AP's precoder knows about the
@@ -597,7 +818,7 @@ impl NetworkSimulator {
                 for (other_stream, _) in t.clients.iter().enumerate() {
                     let mut amp = midas_linalg::Complex::ZERO;
                     for (row, &k) in t.antenna_idx.iter().enumerate() {
-                        amp += ch.h_get(client, k) * t.v.get(row, other_stream);
+                        amp += h_row[k] * t.v.get(row, other_stream);
                     }
                     if other_stream == stream_idx {
                         signal = amp.norm_sqr();
@@ -608,36 +829,35 @@ impl NetworkSimulator {
                 let mut interference = intra_interference;
                 // Cross-AP interference from the concurrent transmissions in
                 // radio range of this client, in transmission order.
-                let interferers: Vec<usize> = match &interferer_index {
-                    Some((index, tx_of_antenna)) => {
-                        let mut ids: Vec<usize> = index
-                            .neighbors_within(client_pos, cutoff)
-                            .into_iter()
-                            .map(|antenna_id| tx_of_antenna[antenna_id])
-                            .collect();
-                        ids.dedup(); // antenna ids are sorted, so tx ids are too
-                        ids
+                interferers.clear();
+                match interferer_index {
+                    Some(index) => {
+                        index.neighbors_within_into(client_pos, cutoff, neighbors);
+                        interferers.extend(
+                            neighbors
+                                .iter()
+                                .map(|&antenna_id| tx_of_antenna[antenna_id]),
+                        );
+                        interferers.dedup(); // antenna ids are sorted, so tx ids are too
                     }
-                    None => (0..transmissions.len())
-                        .filter(|&o| {
-                            transmissions[o].antenna_idx.iter().any(|&k| {
-                                self.topo.aps[transmissions[o].ap_id].antennas[k]
-                                    .distance(client_pos)
-                                    <= cutoff
-                            })
+                    None => interferers.extend((0..transmissions.len()).filter(|&o| {
+                        transmissions[o].antenna_idx.iter().any(|&k| {
+                            self.topo.aps[transmissions[o].ap_id].antennas[k].distance(client_pos)
+                                <= cutoff
                         })
-                        .collect(),
-                };
-                for o in interferers {
+                    })),
+                }
+                for &o in interferers.iter() {
                     if o == tx_idx {
                         continue;
                     }
                     let other = &transmissions[o];
                     let och = &self.channels[other.ap_id];
+                    let oh_row = och.ch.h.row(och.row(client));
                     for other_stream in 0..other.clients.len() {
                         let mut amp = midas_linalg::Complex::ZERO;
                         for (row, &k) in other.antenna_idx.iter().enumerate() {
-                            amp += och.h_get(client, k) * other.v.get(row, other_stream);
+                            amp += oh_row[k] * other.v.get(row, other_stream);
                         }
                         interference += amp.norm_sqr();
                     }
@@ -662,10 +882,37 @@ impl NetworkSimulator {
                     }
                     None => shannon_capacity_bps_hz(sinr),
                 };
-                out.push((client, t.ap_id, capacity));
+                capacities.push((client, t.ap_id, capacity));
             }
         }
-        out
+    }
+
+    /// Pipeline stage 7 — settle: per-AP fairness (DRR) and traffic-queue
+    /// bookkeeping for the round that just ran.
+    ///
+    /// Served clients are mapped from global ids back to AP-local ids through
+    /// the workspace's prebuilt `local_of` table, and the unserved complement
+    /// is read off a reusable bitmask — O(clients) instead of the former
+    /// O(clients²) `contains` sweep.
+    fn settle_stage(&mut self, ws: &mut RoundWorkspace) {
+        for t in &ws.transmissions[..ws.live] {
+            let n_local = ws.own_clients[t.ap_id].len();
+            ws.served.clear();
+            ws.served
+                .extend(t.clients.iter().map(|&g| ws.local_of[g] as usize));
+            ws.served_mask.clear();
+            ws.served_mask.resize(n_local, false);
+            for &l in &ws.served {
+                ws.served_mask[l] = true;
+            }
+            ws.unserved.clear();
+            ws.unserved
+                .extend((0..n_local).filter(|&l| !ws.served_mask[l]));
+            self.drr[t.ap_id].update_after_txop(&ws.served, &ws.unserved, DEFAULT_TXOP_US);
+            for &l in &ws.served {
+                self.traffic.served(t.ap_id, l);
+            }
+        }
     }
 }
 

@@ -37,6 +37,21 @@ pub trait TrafficModel: Send {
     /// client count; indices must be `< num_clients`.
     fn backlogged(&mut self, ap_id: usize, num_clients: usize, round: usize) -> Vec<usize>;
 
+    /// Buffer-reuse variant of [`TrafficModel::backlogged`]: clears `out`
+    /// and fills it with the same indices in the same order.  The default
+    /// delegates (one allocation); the library models override it so the
+    /// simulator's steady-state round loop allocates nothing here.
+    fn backlogged_into(
+        &mut self,
+        ap_id: usize,
+        num_clients: usize,
+        round: usize,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        out.extend(self.backlogged(ap_id, num_clients, round));
+    }
+
     /// Notification that `client` (AP-local, of `ap_id`) was served one
     /// TXOP in the current round.  Queue-driven models drain here; the
     /// default does nothing.
@@ -55,6 +70,17 @@ pub struct FullBuffer;
 impl TrafficModel for FullBuffer {
     fn backlogged(&mut self, _ap_id: usize, num_clients: usize, _round: usize) -> Vec<usize> {
         (0..num_clients).collect()
+    }
+
+    fn backlogged_into(
+        &mut self,
+        _ap_id: usize,
+        num_clients: usize,
+        _round: usize,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        out.extend(0..num_clients);
     }
 }
 
@@ -116,6 +142,17 @@ impl TrafficModel for OnOff {
         (0..num_clients)
             .filter(|&c| self.is_on(ap_id, c, round))
             .collect()
+    }
+
+    fn backlogged_into(
+        &mut self,
+        ap_id: usize,
+        num_clients: usize,
+        round: usize,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        out.extend((0..num_clients).filter(|&c| self.is_on(ap_id, c, round)));
     }
 }
 
@@ -189,6 +226,25 @@ impl TrafficModel for Poisson {
             }
         }
         out
+    }
+
+    fn backlogged_into(
+        &mut self,
+        ap_id: usize,
+        num_clients: usize,
+        round: usize,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        self.queue(ap_id, num_clients);
+        for c in 0..num_clients {
+            let a = self.arrivals(ap_id, c, round);
+            let q = &mut self.queues[ap_id];
+            q[c] = q[c].saturating_add(a);
+            if q[c] > 0 {
+                out.push(c);
+            }
+        }
     }
 
     fn served(&mut self, ap_id: usize, client: usize) {
@@ -336,6 +392,37 @@ mod tests {
         m.served(5, 9); // nothing allocated yet — must not panic
         let _ = m.backlogged(0, 2, 0);
         m.served(0, 7); // out of range — still a no-op
+    }
+
+    #[test]
+    fn backlogged_into_matches_backlogged_for_every_model() {
+        // Two independent instances per model (queue-driven state must not
+        // be shared between the compared call paths).
+        let pairs: Vec<(Box<dyn TrafficModel>, Box<dyn TrafficModel>)> = vec![
+            (Box::new(FullBuffer), Box::new(FullBuffer)),
+            (
+                Box::new(OnOff::new(0.4, 3.0, 11)),
+                Box::new(OnOff::new(0.4, 3.0, 11)),
+            ),
+            (
+                Box::new(Poisson::new(0.8, 11)),
+                Box::new(Poisson::new(0.8, 11)),
+            ),
+        ];
+        for (mut a, mut b) in pairs {
+            let mut buf = Vec::new();
+            for round in 0..30 {
+                for ap in 0..3 {
+                    let expect = a.backlogged(ap, 5, round);
+                    b.backlogged_into(ap, 5, round, &mut buf);
+                    assert_eq!(buf, expect, "ap {ap} round {round}");
+                    for &c in &expect {
+                        a.served(ap, c);
+                        b.served(ap, c);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -109,7 +109,11 @@ pub trait Precoder {
 }
 
 /// Constructs a boxed precoder of the requested kind with default settings.
-pub fn make_precoder(kind: PrecoderKind) -> Box<dyn Precoder> {
+///
+/// The box is `Send + Sync` (every library precoder is a plain value type),
+/// so callers can hold one per simulator and reuse it across rounds — and
+/// threads — instead of re-constructing it per transmission.
+pub fn make_precoder(kind: PrecoderKind) -> Box<dyn Precoder + Send + Sync> {
     match kind {
         PrecoderKind::Zfbf => Box::new(ZfbfPrecoder),
         PrecoderKind::NaiveScaled => Box::new(NaiveScaledPrecoder),

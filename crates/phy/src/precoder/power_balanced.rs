@@ -24,7 +24,7 @@
 use super::zfbf::zfbf_directions;
 use super::{Precoder, PrecoderKind, Precoding};
 use crate::power;
-use midas_linalg::CMat;
+use midas_linalg::{CMat, Complex};
 
 /// MIDAS reverse water-filling precoder.
 #[derive(Debug, Clone, Copy)]
@@ -158,6 +158,9 @@ impl Precoder for PowerBalancedPrecoder {
         // floating-point edge cases.
         let max_rounds = num_antennas + 4;
         let mut rounds = 0;
+        let mut diag: Vec<Complex> = Vec::with_capacity(num_streams);
+        let mut sinrs: Vec<f64> = Vec::with_capacity(num_streams);
+        let mut row_powers: Vec<f64> = Vec::with_capacity(num_streams);
         while rounds < max_rounds {
             let Some((k_star, _)) = power::worst_violating_antenna(&v, per_antenna_power) else {
                 break;
@@ -166,13 +169,13 @@ impl Precoder for PowerBalancedPrecoder {
 
             // Current ZF SINRs: with interference nulled, rho_j is the
             // noise-normalised power of the diagonal effective channel entry.
-            let eff = h.mul(&v);
-            let sinrs: Vec<f64> = (0..num_streams)
-                .map(|j| eff.get(j, j).norm_sqr() / noise)
-                .collect();
-            let row_powers: Vec<f64> = (0..num_streams)
-                .map(|j| v.get(k_star, j).norm_sqr())
-                .collect();
+            // Only the diagonal of h·v is ever read here, so compute just
+            // that (bit-identical to the full product, O(n²) not O(n³)).
+            h.mul_diag_into(&v, &mut diag);
+            sinrs.clear();
+            sinrs.extend(diag.iter().map(|e| e.norm_sqr() / noise));
+            row_powers.clear();
+            row_powers.extend((0..num_streams).map(|j| v.get(k_star, j).norm_sqr()));
 
             let weights = self.reverse_waterfill(&row_powers, &sinrs, per_antenna_power);
             for (j, w) in weights.iter().enumerate() {
