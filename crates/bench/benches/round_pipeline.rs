@@ -2,43 +2,55 @@
 //! `BENCH_*.json` perf trajectory.
 //!
 //! Times the simulator's round loop end-to-end (topology build + channel
-//! realisation + `rounds` TXOP rounds, CAS and MIDAS back to back) at three
-//! scales and writes `BENCH_round_pipeline.json` at the **repo root** so the
-//! numbers are diffable PR-over-PR:
+//! realisation + `rounds` TXOP rounds, CAS and MIDAS back to back) at several
+//! scales under both fading engines and writes `BENCH_round_pipeline.json`
+//! at the **repo root** so the numbers are diffable PR-over-PR:
 //!
 //! * `fig16_8ap` — the paper's 8-AP end-to-end workload (binary graph).
 //! * `enterprise_64ap` — the 64-AP / 512-client enterprise_office floor
 //!   (finite interaction range, indexed scans) — the acceptance workload.
 //! * `enterprise_256ap` — a beyond-ROADMAP 256-AP / 2048-client point.
+//! * `*_counter` — the same three workloads under `FadingEngine::Counter`
+//!   (counter-keyed lazy evolution; the A cells above are the legacy B side).
+//! * `metro_1024ap` — a 1024-AP / 8192-client counter-engine point, only
+//!   tractable because lazy evolution never materialises the quadratic
+//!   share of out-of-range fading state per boundary.
 //!
-//! Each cell reports the per-repetition wall-clock median plus a 95 %
-//! normal-approximation confidence interval on the mean, following the
-//! measured-claims discipline (accept a speedup only when before/after CIs
-//! do not overlap; record negative results).
+//! Repetitions are **interleaved round-robin across cells** (rep 1 of every
+//! cell, then rep 2, …) so legacy/counter pairs of the same workload are
+//! timed A/B within one binary and one machine state — thermal drift and
+//! cache warm-up land evenly on both sides.  Each cell reports the
+//! per-repetition wall-clock median plus a 95 % normal-approximation
+//! confidence interval on the mean, following the measured-claims
+//! discipline (accept a speedup only when the A/B CIs do not overlap;
+//! record negative results).
 //!
 //! Knobs (CI smoke + quick local iterations):
-//! * `MIDAS_PIPELINE_CELLS` — comma-separated cell names
-//!   (default `fig16_8ap,enterprise_64ap,enterprise_256ap`).
-//! * `MIDAS_PIPELINE_REPS` — timed repetitions per cell (default 5).
+//! * `MIDAS_PIPELINE_CELLS` — comma-separated cell names (default: all of
+//!   the above).
+//! * `MIDAS_PIPELINE_REPS` — timed repetitions per cell (default 7).
 //! * `MIDAS_PIPELINE_TOPOLOGIES` — floor realisations per repetition
-//!   (default 4 at 8 APs, 3 at 64 APs, 1 at 256 APs).
+//!   (default 4 at 8 APs, 3 at 64 APs, 1 at 256+ APs).
 //! * `MIDAS_PIPELINE_ROUNDS` — TXOP rounds per realisation (default 10).
 //!
 //! Profiling mode (flamegraph-friendly):
 //! * `MIDAS_PIPELINE_PROFILE=<cell>` runs that cell's MIDAS round loop in a
 //!   flat hot loop (one long simulation, no timing machinery in the way) so
-//!   `perf record --call-graph dwarf` / `flamegraph` see clean stacks;
-//!   `MIDAS_PIPELINE_PROFILE_ROUNDS` (default 400) sets the round count and
-//!   `MIDAS_PIPELINE_COHERENCE` (default 1) the coherence interval in rounds
-//!   (> 1 caches channel realisations — opt-in, changes outputs; handy for
-//!   A/B-profiling the evolve stage, which dominates the round loop).
+//!   `perf record --call-graph dwarf` / `flamegraph` see clean stacks, and
+//!   prints the per-stage wall-clock breakdown (`StageTimings`);
+//!   `MIDAS_PIPELINE_PROFILE_ROUNDS` (default 400) sets the round count,
+//!   `MIDAS_PIPELINE_ENGINE` (`legacy`/`counter`, default by cell name)
+//!   the fading engine, and `MIDAS_PIPELINE_COHERENCE` (default 1) the
+//!   coherence interval in rounds (> 1 caches channel realisations —
+//!   opt-in, changes outputs; handy for A/B-profiling the evolve stage).
 
-use midas::sim::{ExperimentOutput, ExperimentSpec};
+use midas::experiment::{end_to_end_series_with_engine, enterprise_scaling_with_engine};
 use midas_bench::{Cell, Figure, Table, BENCH_SEED};
+use midas_channel::FadingEngine;
 use midas_net::capture::ContentionModel;
 use midas_net::metrics::Cdf;
 use midas_net::scale::Scenario;
-use midas_net::simulator::{MacKind, NetworkSimulator};
+use midas_net::simulator::{MacKind, NetworkSimulator, StageTimings};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -58,14 +70,24 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// One timed workload of the snapshot.
+/// One timed workload of the snapshot: dimensions for the record plus the
+/// closure that runs it (and returns a checksum so the optimiser cannot
+/// elide the simulation).
 struct PipelineCell {
     name: &'static str,
     aps: usize,
     clients: usize,
     topologies: usize,
     rounds: usize,
-    spec: ExperimentSpec,
+    engine: FadingEngine,
+    run: Box<dyn Fn() -> f64>,
+}
+
+fn engine_label(engine: FadingEngine) -> &'static str {
+    match engine {
+        FadingEngine::Legacy => "legacy",
+        FadingEngine::Counter => "counter",
+    }
 }
 
 fn cell_by_name(
@@ -73,40 +95,67 @@ fn cell_by_name(
     topologies_override: Option<usize>,
     rounds: usize,
 ) -> Option<PipelineCell> {
-    let cell = |name, aps, clients, default_topologies, spec: &dyn Fn(usize) -> ExperimentSpec| {
+    let fig16 = |name, engine, default_topologies| {
+        let topologies = topologies_override.unwrap_or(default_topologies).max(1);
+        PipelineCell {
+            name,
+            aps: 8,
+            clients: 32,
+            topologies,
+            rounds,
+            engine,
+            run: Box::new(move || {
+                let s = end_to_end_series_with_engine(
+                    true,
+                    topologies,
+                    rounds,
+                    BENCH_SEED,
+                    ContentionModel::Graph,
+                    engine,
+                );
+                s.network.cas.iter().sum::<f64>() + s.network.das.iter().sum::<f64>()
+            }),
+        }
+    };
+    let enterprise = |name, aps: usize, engine, default_topologies| {
         let topologies = topologies_override.unwrap_or(default_topologies).max(1);
         PipelineCell {
             name,
             aps,
-            clients,
+            clients: aps * 8,
             topologies,
             rounds,
-            spec: spec(topologies),
+            engine,
+            run: Box::new(move || {
+                let s = enterprise_scaling_with_engine(
+                    &Scenario::enterprise_office(aps),
+                    topologies,
+                    rounds,
+                    BENCH_SEED,
+                    engine,
+                );
+                s.cas.iter().sum::<f64>() + s.das.iter().sum::<f64>()
+            }),
         }
     };
     match name {
-        "fig16_8ap" => Some(cell("fig16_8ap", 8, 32, 4, &|topologies| {
-            ExperimentSpec::EndToEnd {
-                eight_aps: true,
-                topologies,
-                rounds,
-                contention: ContentionModel::Graph,
-            }
-        })),
-        "enterprise_64ap" => Some(cell("enterprise_64ap", 64, 512, 3, &|topologies| {
-            ExperimentSpec::EnterpriseScaling {
-                scenario: Scenario::enterprise_office(64),
-                topologies,
-                rounds,
-            }
-        })),
-        "enterprise_256ap" => Some(cell("enterprise_256ap", 256, 2048, 1, &|topologies| {
-            ExperimentSpec::EnterpriseScaling {
-                scenario: Scenario::enterprise_office(256),
-                topologies,
-                rounds,
-            }
-        })),
+        "fig16_8ap" => Some(fig16("fig16_8ap", FadingEngine::Legacy, 4)),
+        "fig16_8ap_counter" => Some(fig16("fig16_8ap_counter", FadingEngine::Counter, 4)),
+        "enterprise_64ap" => Some(enterprise("enterprise_64ap", 64, FadingEngine::Legacy, 3)),
+        "enterprise_64ap_counter" => Some(enterprise(
+            "enterprise_64ap_counter",
+            64,
+            FadingEngine::Counter,
+            3,
+        )),
+        "enterprise_256ap" => Some(enterprise("enterprise_256ap", 256, FadingEngine::Legacy, 1)),
+        "enterprise_256ap_counter" => Some(enterprise(
+            "enterprise_256ap_counter",
+            256,
+            FadingEngine::Counter,
+            1,
+        )),
+        "metro_1024ap" => Some(enterprise("metro_1024ap", 1024, FadingEngine::Counter, 1)),
         _ => None,
     }
 }
@@ -114,17 +163,6 @@ fn cell_by_name(
 /// Simulated TXOP rounds per repetition: CAS + MIDAS per realisation.
 fn sim_rounds(cell: &PipelineCell) -> usize {
     2 * cell.topologies * cell.rounds
-}
-
-/// Consume the output so the optimiser cannot elide the run.
-fn checksum(out: &ExperimentOutput) -> f64 {
-    match out {
-        ExperimentOutput::EndToEnd(s) => {
-            s.network.cas.iter().sum::<f64>() + s.network.das.iter().sum::<f64>()
-        }
-        ExperimentOutput::Enterprise(s) => s.cas.iter().sum::<f64>() + s.das.iter().sum::<f64>(),
-        _ => 0.0,
-    }
 }
 
 /// The repo root, resolved like `midas_bench::default_figure_dir` does —
@@ -178,39 +216,86 @@ fn stats(samples: &[f64]) -> CellStats {
     }
 }
 
-/// Flat MIDAS hot loop for profilers: one long simulation, no timers.
+fn print_stage_breakdown(timings: &StageTimings) {
+    let total = timings.total_s();
+    if timings.rounds == 0 || total <= 0.0 {
+        return;
+    }
+    let pct = |s: f64| 100.0 * s / total;
+    println!(
+        "# stages over {} rounds: evolve {:.3} s ({:.1} %), sense {:.3} s ({:.1} %), \
+         select {:.3} s ({:.1} %), precode {:.3} s ({:.1} %), evaluate {:.3} s ({:.1} %), \
+         settle {:.3} s ({:.1} %)",
+        timings.rounds,
+        timings.evolve_s,
+        pct(timings.evolve_s),
+        timings.sense_s,
+        pct(timings.sense_s),
+        timings.select_s,
+        pct(timings.select_s),
+        timings.precode_s,
+        pct(timings.precode_s),
+        timings.evaluate_s,
+        pct(timings.evaluate_s),
+        timings.settle_s,
+        pct(timings.settle_s),
+    );
+}
+
+/// Flat MIDAS hot loop for profilers: one long simulation, no timers in the
+/// round path (stage timings accumulate coarse per-stage `Instant` reads,
+/// cheap next to a 64-AP round).
 fn profile(cell_name: &str, rounds: usize) {
-    let scenario = match cell_name {
-        "enterprise_64ap" => Some(Scenario::enterprise_office(64)),
-        "enterprise_256ap" => Some(Scenario::enterprise_office(256)),
-        _ => None,
+    let (scenario, default_engine) = match cell_name {
+        "enterprise_64ap" => (Some(Scenario::enterprise_office(64)), FadingEngine::Legacy),
+        "enterprise_64ap_counter" => (Some(Scenario::enterprise_office(64)), FadingEngine::Counter),
+        "enterprise_256ap" => (Some(Scenario::enterprise_office(256)), FadingEngine::Legacy),
+        "enterprise_256ap_counter" => (
+            Some(Scenario::enterprise_office(256)),
+            FadingEngine::Counter,
+        ),
+        "metro_1024ap" => (
+            Some(Scenario::enterprise_office(1024)),
+            FadingEngine::Counter,
+        ),
+        _ => (None, FadingEngine::Legacy),
+    };
+    let engine = match std::env::var("MIDAS_PIPELINE_ENGINE").as_deref() {
+        Ok("legacy") => FadingEngine::Legacy,
+        Ok("counter") => FadingEngine::Counter,
+        _ => default_engine,
     };
     match scenario {
         Some(scenario) => {
             let pair = scenario.build(BENCH_SEED).expect("floor fits the grid");
             let mut config = scenario.sim_config(MacKind::Midas, rounds, BENCH_SEED);
             config.rounds = rounds;
+            config.fading = engine;
             config.coherence_interval_rounds = env_usize("MIDAS_PIPELINE_COHERENCE", 1).max(1);
-            let mut sim = NetworkSimulator::new(pair.das, config);
+            let mut sim = NetworkSimulator::new(pair.das, config).with_stage_profiling();
             let result = sim.run();
             println!(
-                "# profile {cell_name}: {rounds} rounds, mean capacity {:.3} bit/s/Hz",
+                "# profile {cell_name} ({}): {rounds} rounds, mean capacity {:.3} bit/s/Hz",
+                engine_label(engine),
                 result.mean_capacity()
             );
+            print_stage_breakdown(&sim.stage_timings());
         }
         None => {
             // fig16_8ap (or anything unrecognised): the paper-scale workload
-            // through the spec runner, rounds stretched for a long loop.
-            let spec = ExperimentSpec::EndToEnd {
-                eight_aps: true,
-                topologies: 1,
+            // through the series runner, rounds stretched for a long loop.
+            let s = end_to_end_series_with_engine(
+                true,
+                1,
                 rounds,
-                contention: ContentionModel::Graph,
-            };
-            let out = spec.run(BENCH_SEED);
+                BENCH_SEED,
+                ContentionModel::Graph,
+                engine,
+            );
+            let checksum = s.network.cas.iter().sum::<f64>() + s.network.das.iter().sum::<f64>();
             println!(
-                "# profile fig16_8ap: {rounds} rounds, checksum {:.3}",
-                checksum(&out)
+                "# profile fig16_8ap ({}): {rounds} rounds, checksum {checksum:.3}",
+                engine_label(engine)
             );
         }
     }
@@ -225,19 +310,47 @@ fn main() {
 
     let names = env_list(
         "MIDAS_PIPELINE_CELLS",
-        "fig16_8ap,enterprise_64ap,enterprise_256ap",
+        "fig16_8ap,fig16_8ap_counter,enterprise_64ap,enterprise_64ap_counter,\
+         enterprise_256ap,enterprise_256ap_counter,metro_1024ap",
     );
-    let reps = env_usize("MIDAS_PIPELINE_REPS", 5).max(1);
+    let reps = env_usize("MIDAS_PIPELINE_REPS", 7).max(1);
     let topologies_override = std::env::var("MIDAS_PIPELINE_TOPOLOGIES")
         .ok()
         .and_then(|v| v.trim().parse().ok());
     let rounds = env_usize("MIDAS_PIPELINE_ROUNDS", 10).max(1);
+
+    let cells: Vec<PipelineCell> = names
+        .iter()
+        .filter_map(|name| {
+            let cell = cell_by_name(name, topologies_override, rounds);
+            if cell.is_none() {
+                eprintln!("unknown pipeline cell '{name}' — skipping");
+            }
+            cell
+        })
+        .collect();
+
+    // One untimed warm-up per cell keeps one-time costs (page-in, lazy
+    // init) out of the repetition samples.
+    let mut sinks: Vec<f64> = cells.iter().map(|cell| (cell.run)()).collect();
+
+    // Interleave: rep 1 of every cell, then rep 2, … so A/B pairs of the
+    // same workload see the same machine state drift.
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); cells.len()];
+    for _ in 0..reps {
+        for (i, cell) in cells.iter().enumerate() {
+            let start = Instant::now();
+            sinks[i] += (cell.run)();
+            samples[i].push(start.elapsed().as_secs_f64());
+        }
+    }
 
     let mut fig = Figure::new("round_pipeline").with_seed(BENCH_SEED);
     let mut table = Table::new(
         "pipeline",
         &[
             "cell",
+            "engine",
             "aps",
             "clients",
             "topologies",
@@ -253,28 +366,22 @@ fn main() {
     );
     let mut cells_json: Vec<String> = Vec::new();
 
-    for name in &names {
-        let Some(cell) = cell_by_name(name, topologies_override, rounds) else {
-            eprintln!("unknown pipeline cell '{name}' — skipping");
-            continue;
-        };
-        // One untimed warm-up keeps one-time costs (page-in, lazy init) out
-        // of the repetition samples.
-        let mut sink = checksum(&cell.spec.run(BENCH_SEED));
-        let mut samples = Vec::with_capacity(reps);
-        for _ in 0..reps {
-            let start = Instant::now();
-            sink += checksum(&cell.spec.run(BENCH_SEED));
-            samples.push(start.elapsed().as_secs_f64());
-        }
-        let s = stats(&samples);
-        let throughput = sim_rounds(&cell) as f64 / s.median_s;
+    for (cell, (cell_samples, sink)) in cells.iter().zip(samples.iter().zip(&sinks)) {
+        let s = stats(cell_samples);
+        let throughput = sim_rounds(cell) as f64 / s.median_s;
         println!(
-            "# {}: median {:.3} s, mean {:.3} s (95% CI [{:.3}, {:.3}]), {:.1} sim rounds/s (checksum {sink:.1})",
-            cell.name, s.median_s, s.mean_s, s.ci95_lo_s, s.ci95_hi_s, throughput
+            "# {} ({}): median {:.3} s, mean {:.3} s (95% CI [{:.3}, {:.3}]), {:.1} sim rounds/s (checksum {sink:.1})",
+            cell.name,
+            engine_label(cell.engine),
+            s.median_s,
+            s.mean_s,
+            s.ci95_lo_s,
+            s.ci95_hi_s,
+            throughput
         );
         table.row([
             Cell::from(cell.name),
+            Cell::from(engine_label(cell.engine)),
             Cell::from(cell.aps),
             Cell::from(cell.clients),
             Cell::from(cell.topologies),
@@ -289,11 +396,12 @@ fn main() {
         ]);
         cells_json.push(format!(
             concat!(
-                "{{\"name\":\"{}\",\"aps\":{},\"clients\":{},\"topologies\":{},",
-                "\"rounds\":{},\"reps\":{},\"median_s\":{},\"mean_s\":{},\"sd_s\":{},",
-                "\"ci95_lo_s\":{},\"ci95_hi_s\":{},\"sim_rounds_per_s\":{}}}"
+                "{{\"name\":\"{}\",\"engine\":\"{}\",\"aps\":{},\"clients\":{},",
+                "\"topologies\":{},\"rounds\":{},\"reps\":{},\"median_s\":{},\"mean_s\":{},",
+                "\"sd_s\":{},\"ci95_lo_s\":{},\"ci95_hi_s\":{},\"sim_rounds_per_s\":{}}}"
             ),
             cell.name,
+            engine_label(cell.engine),
             cell.aps,
             cell.clients,
             cell.topologies,
@@ -313,8 +421,9 @@ fn main() {
          (topology build + channel realisation + CAS and MIDAS simulations)",
     );
     fig.note(
-        "measured-claims discipline: compare PR-over-PR medians only when the 95% CIs \
-         do not overlap; BENCH_round_pipeline.json at the repo root is the diffable record",
+        "measured-claims discipline: repetitions interleave round-robin across cells \
+         (same-binary A/B); compare medians only when the 95% CIs do not overlap; \
+         BENCH_round_pipeline.json at the repo root is the diffable record",
     );
     fig.table(table);
 

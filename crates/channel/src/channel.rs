@@ -21,7 +21,7 @@
 use crate::environment::Environment;
 use crate::fading;
 use crate::geometry::Point;
-use crate::rng::SimRng;
+use crate::rng::{CounterRng, SimRng};
 use crate::topology::{Client, Deployment};
 use crate::{dbm_to_mw, mw_to_dbm};
 use midas_linalg::{CMat, Complex, FMat};
@@ -156,6 +156,10 @@ pub struct ChannelModel {
     rng: SimRng,
     /// Seed of the frozen shadowing field (shared by all links of this model).
     shadow_field_seed: u64,
+    /// Seed lane of the counter-keyed fading streams (see
+    /// [`ChannelModel::evolve_row_counter`]); derived from the trial seed so
+    /// different trials draw independent fading histories.
+    fading_seed: u64,
 }
 
 impl ChannelModel {
@@ -165,6 +169,7 @@ impl ChannelModel {
             env,
             rng: SimRng::new(seed).fork(0xC4A77E1),
             shadow_field_seed: seed ^ 0x51AD0_F1E1D,
+            fading_seed: seed ^ 0xFAD1_6E55_EED0,
         }
     }
 
@@ -338,6 +343,82 @@ impl ChannelModel {
                 let f2 = fading::evolve(f, rho, &mut self.rng);
                 channel.h.set(j, k, f2.scale(g));
             }
+        }
+    }
+
+    /// Gauss–Markov correlation over a delay of `delay_s` seconds in this
+    /// model's environment — the `rho` of one evolution step.
+    pub fn step_correlation(&self, delay_s: f64) -> f64 {
+        fading::correlation_for_delay(delay_s, self.env.coherence_time_s)
+    }
+
+    /// One counter-keyed Gauss–Markov step over a single channel row
+    /// (`FadingEngine::Counter`; see [`CounterRng`]).
+    ///
+    /// The row's innovations come from the stateless stream keyed by
+    /// `(fading_seed, ap, link, round)`, so the update is a pure function of
+    /// the key and the row's prior state: the same step can be applied
+    /// eagerly, lazily (catching a row up boundary by boundary), or on
+    /// another thread and produce identical bits.  `&self`, not `&mut self`
+    /// — the model's sequential generator is untouched, which is what keeps
+    /// the `Legacy` engine's draws byte-stable when `Counter` is in use
+    /// elsewhere.
+    ///
+    /// The update works in the scaled domain: where the legacy path
+    /// normalises `h` by the large-scale gain `g`, evolves the unit-power
+    /// coefficient and re-applies `g`, this computes
+    /// `h ← rho·h + sqrt(1−rho²)·g·CN(0,1)` directly — the same process
+    /// without the divide.  `pairs` is caller-provided scratch (one slot per
+    /// antenna) so steady-state evolution allocates nothing.
+    #[allow(clippy::too_many_arguments)] // the argument list IS the stream key + row state
+    pub fn evolve_row_counter(
+        &self,
+        h_row: &mut [Complex],
+        g_row: &[f64],
+        rho: f64,
+        ap: u64,
+        link: u64,
+        round: u64,
+        pairs: &mut Vec<(f64, f64)>,
+    ) {
+        assert!((0.0..=1.0).contains(&rho), "correlation must be in [0, 1]");
+        assert_eq!(h_row.len(), g_row.len());
+        if rho >= 1.0 {
+            return;
+        }
+        // Components of CN(0,1) are N(0, 1/2).
+        let s = (1.0 - rho * rho).sqrt() * std::f64::consts::FRAC_1_SQRT_2;
+        pairs.clear();
+        pairs.resize(h_row.len(), (0.0, 0.0));
+        let mut stream = CounterRng::from_key([self.fading_seed, ap, link, round]);
+        stream.fill_gaussian_pairs(pairs);
+        for ((h, &g), &(zr, zi)) in h_row.iter_mut().zip(g_row).zip(pairs.iter()) {
+            if g <= 0.0 {
+                continue;
+            }
+            let sg = s * g;
+            *h = h.scale(rho) + Complex::new(zr * sg, zi * sg);
+        }
+    }
+
+    /// Counter-engine counterpart of [`ChannelModel::evolve_in_place`]:
+    /// evolves every row of `channel` by one step keyed at `round`, with
+    /// rows keyed by their index under AP lane `ap`.  Convenience for tests
+    /// and single-matrix callers; the round loop calls
+    /// [`evolve_row_counter`](Self::evolve_row_counter) per touched row.
+    pub fn evolve_in_place_counter(
+        &self,
+        channel: &mut ChannelMatrix,
+        delay_s: f64,
+        ap: u64,
+        round: u64,
+        pairs: &mut Vec<(f64, f64)>,
+    ) {
+        let rho = self.step_correlation(delay_s);
+        for j in 0..channel.num_clients() {
+            let h_row = channel.h.row_mut(j);
+            let g_row = channel.large_scale.row(j);
+            self.evolve_row_counter(h_row, g_row, rho, ap, j as u64, round, pairs);
         }
     }
 }

@@ -16,6 +16,35 @@
 use crate::rng::SimRng;
 use midas_linalg::Complex;
 
+/// Which machinery drives small-scale fading evolution in the simulator.
+///
+/// Both engines realise the same first-order Gauss–Markov process — same
+/// `rho`, same innovation distribution — and the paper's evaluation depends
+/// only on those statistics, not on one particular draw sequence
+/// (`paper_fidelity` bands pass under either engine).  They differ in *where
+/// the randomness comes from*:
+///
+/// * [`Legacy`](FadingEngine::Legacy) (the default) threads one sequential
+///   generator through every link in a fixed order.  Every historical golden
+///   stays byte-identical, but the pinned draw order forces eager, serial
+///   evolution of the full channel state each coherence interval.
+/// * [`Counter`](FadingEngine::Counter) keys each innovation by
+///   `(trial_seed, ap, link, round)` through a stateless counter-based
+///   stream ([`CounterRng`](crate::rng::CounterRng)), making evolution
+///   order-independent: rows can be evolved lazily (only when a round
+///   actually reads them, with exact keyed catch-up), in batch (one stream
+///   fills a whole row's innovations), and in parallel (bit-identical at
+///   any thread count).  Opting in changes per-draw values — statistics,
+///   not goldens, are the contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FadingEngine {
+    /// Sequential draws from one shared generator (byte-stable goldens).
+    #[default]
+    Legacy,
+    /// Stateless counter-keyed draws (order-independent; lazy/parallel).
+    Counter,
+}
+
 /// Small-scale fading distribution for one link.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FadingKind {

@@ -43,8 +43,9 @@ pub mod trace;
 
 pub use channel::{ChannelMatrix, ChannelModel, LinkStats};
 pub use environment::{Environment, EnvironmentKind};
+pub use fading::FadingEngine;
 pub use geometry::Point;
-pub use rng::SimRng;
+pub use rng::{CounterRng, SimRng};
 pub use topology::{AntennaDeployment, Deployment, DeploymentKind, Topology};
 
 /// Speed of light in metres per second.

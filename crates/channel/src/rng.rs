@@ -6,6 +6,12 @@
 //! experiment makes figures and tests exactly reproducible, and the
 //! `fork`/`stream` helpers give independent sub-streams to independent model
 //! components so that adding draws to one component does not perturb another.
+//!
+//! [`CounterRng`] is the stateless counterpart: a splitmix64 stream whose
+//! starting point is a pure function of a caller-supplied key, so the draw
+//! for `(seed, ap, link, round)` is the same no matter which draws ran
+//! before it.  The counter-based fading engine is built on it — evolution
+//! order-independence is what unlocks lazy and parallel channel evolution.
 
 /// A small, fast, deterministic PRNG (xoshiro256** seeded via splitmix64).
 #[derive(Debug, Clone)]
@@ -19,6 +25,33 @@ fn splitmix64(state: &mut u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
     z ^ (z >> 31)
+}
+
+/// The splitmix64 output finalizer on its own: a bijective 64-bit mixer.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Maps raw bits to a uniform sample in `[0, 1)` (53 random mantissa bits).
+#[inline]
+fn unit_from_bits(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// One Box–Muller transform keeping **both** outputs.
+///
+/// The first component reproduces the classic single-output form
+/// `(-2 ln u).sqrt() * cos(2πv)` bit-for-bit (`sin_cos` returns the same
+/// cosine as `cos` — pinned by test); the second reuses the radius and the
+/// already-computed sine, so a pair costs one `ln`/`sqrt`/`sin_cos` instead
+/// of two of each.
+#[inline]
+fn box_muller_pair(u: f64, v: f64) -> (f64, f64) {
+    let r = (-2.0 * u.ln()).sqrt();
+    let (sin, cos) = (2.0 * std::f64::consts::PI * v).sin_cos();
+    (r * cos, r * sin)
 }
 
 impl SimRng {
@@ -90,17 +123,44 @@ impl SimRng {
         ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
-    /// Standard normal sample via the Box–Muller transform.
-    pub fn gaussian(&mut self) -> f64 {
-        // Avoid u == 0 so ln() stays finite.
-        let u = loop {
+    /// Uniform sample in `(0, 1)`, bounded away from zero so `ln()` stays
+    /// finite — the shared rejection step of [`gaussian`](Self::gaussian)
+    /// and [`exponential`](Self::exponential).
+    pub fn nonzero_uniform(&mut self) -> f64 {
+        loop {
             let u = self.uniform();
             if u > 1e-300 {
                 break u;
             }
-        };
+        }
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn gaussian(&mut self) -> f64 {
+        let u = self.nonzero_uniform();
         let v = self.uniform();
         (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos()
+    }
+
+    /// Two independent standard normal samples from **one** Box–Muller
+    /// transform.
+    ///
+    /// Consumes exactly the uniforms of one [`gaussian`](Self::gaussian)
+    /// call, and the first component is bit-identical to what `gaussian`
+    /// would have returned (test-pinned); the second keeps the sine term a
+    /// lone `gaussian` discards.  Complex fading draws use this to halve
+    /// the transcendental count.
+    pub fn gaussian_pair(&mut self) -> (f64, f64) {
+        let u = self.nonzero_uniform();
+        let v = self.uniform();
+        box_muller_pair(u, v)
+    }
+
+    /// Fills `out` with independent standard normal pairs.
+    pub fn fill_gaussian_pairs(&mut self, out: &mut [(f64, f64)]) {
+        for slot in out {
+            *slot = self.gaussian_pair();
+        }
     }
 
     /// Normal sample with the given mean and standard deviation.
@@ -111,12 +171,7 @@ impl SimRng {
     /// Exponential sample with the given rate parameter `lambda`.
     pub fn exponential(&mut self, lambda: f64) -> f64 {
         assert!(lambda > 0.0);
-        let u = loop {
-            let u = self.uniform();
-            if u > 1e-300 {
-                break u;
-            }
-        };
+        let u = self.nonzero_uniform();
         -u.ln() / lambda
     }
 
@@ -140,6 +195,88 @@ impl SimRng {
         self.shuffle(&mut idx);
         idx.truncate(k);
         idx
+    }
+}
+
+/// A stateless counter-based sub-stream: the splitmix64 sequence whose
+/// starting state is a pure hash of a caller-supplied key.
+///
+/// Where [`SimRng`] threads one mutable state through every consumer (so a
+/// draw's value depends on every draw before it), `CounterRng::from_key`
+/// makes the draw sequence for a key — e.g. `(trial_seed, ap, link, round)`
+/// — a pure function of that key.  Two consequences the counter-based
+/// fading engine relies on:
+///
+/// * **Order independence** — evolving link A before or after link B cannot
+///   change either link's draws, so work can be skipped, reordered, or
+///   sharded across threads without changing a single output bit.
+/// * **Lazy exactness** — the draws a skipped round *would* have produced
+///   can be reproduced later from the key alone, so catch-up replays are
+///   bit-identical to eager evolution.
+///
+/// Statistical quality matches [`SimRng`]'s seeding path: both are built on
+/// the splitmix64 mixer, which passes standard test batteries at 64-bit
+/// state size.  The per-key streams here are short (a handful of draws per
+/// fading row per round), far below splitmix64's period.
+#[derive(Debug, Clone)]
+pub struct CounterRng {
+    state: u64,
+}
+
+impl CounterRng {
+    /// Derives the stream for a 4-lane key.
+    ///
+    /// Every lane is absorbed through the (bijective) splitmix64 finalizer,
+    /// so distinct keys map to distinct, well-separated stream states; the
+    /// same key always yields the same stream.
+    pub fn from_key(key: [u64; 4]) -> Self {
+        // First fractional bits of π — an arbitrary-looking, documented
+        // starting point (nothing-up-my-sleeve constant).
+        let mut h = 0x243F_6A88_85A3_08D3u64;
+        for &lane in &key {
+            h = mix64(h.wrapping_add(lane).wrapping_add(0x9E37_79B9_7F4A_7C15));
+        }
+        CounterRng { state: h }
+    }
+
+    /// Next raw 64-bit value (splitmix64 stepping).
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        unit_from_bits(self.next_u64())
+    }
+
+    /// Uniform sample in `(0, 1)`, bounded away from zero (see
+    /// [`SimRng::nonzero_uniform`]).  The rejection loop is safe here too:
+    /// the keyed stream is deterministic, so a rejection consumes the same
+    /// draws on every replay.
+    pub fn nonzero_uniform(&mut self) -> f64 {
+        loop {
+            let u = self.uniform();
+            if u > 1e-300 {
+                break u;
+            }
+        }
+    }
+
+    /// Two independent standard normal samples from one Box–Muller
+    /// transform (same kernel as [`SimRng::gaussian_pair`]).
+    pub fn gaussian_pair(&mut self) -> (f64, f64) {
+        let u = self.nonzero_uniform();
+        let v = self.uniform();
+        box_muller_pair(u, v)
+    }
+
+    /// Fills `out` with independent standard normal pairs — the batched
+    /// Gaussian kernel of the counter fading engine: one stream keyed per
+    /// `(link, round)` fills a whole channel row's innovations at once.
+    pub fn fill_gaussian_pairs(&mut self, out: &mut [(f64, f64)]) {
+        for slot in out {
+            *slot = self.gaussian_pair();
+        }
     }
 }
 
@@ -250,5 +387,108 @@ mod tests {
         let hits = (0..n).filter(|_| rng.bernoulli(0.3)).count();
         let p = hits as f64 / n as f64;
         assert!((p - 0.3).abs() < 0.02, "p {p}");
+    }
+
+    #[test]
+    fn gaussian_pair_first_component_is_bitwise_gaussian() {
+        // The load-bearing equivalence: a pair call consumes the same
+        // uniforms as one gaussian() call and returns the same first
+        // component to the last bit, so switching a consumer from
+        // gaussian() to gaussian_pair().0 changes nothing.
+        let mut lone = SimRng::new(0xBEEF);
+        let mut paired = SimRng::new(0xBEEF);
+        for _ in 0..10_000 {
+            let g = lone.gaussian();
+            let (p0, _) = paired.gaussian_pair();
+            assert_eq!(g.to_bits(), p0.to_bits());
+        }
+        // And the streams stay in lockstep afterwards.
+        assert_eq!(lone.next_u64(), paired.next_u64());
+    }
+
+    #[test]
+    fn gaussian_pair_components_are_independent_standard_normals() {
+        let mut rng = SimRng::new(23);
+        let n = 50_000;
+        let (mut s0, mut s1, mut sq0, mut sq1, mut cross) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let (a, b) = rng.gaussian_pair();
+            s0 += a;
+            s1 += b;
+            sq0 += a * a;
+            sq1 += b * b;
+            cross += a * b;
+        }
+        let nf = n as f64;
+        assert!((s0 / nf).abs() < 0.02 && (s1 / nf).abs() < 0.02);
+        assert!((sq0 / nf - 1.0).abs() < 0.05, "var0 {}", sq0 / nf);
+        assert!((sq1 / nf - 1.0).abs() < 0.05, "var1 {}", sq1 / nf);
+        assert!((cross / nf).abs() < 0.02, "corr {}", cross / nf);
+    }
+
+    #[test]
+    fn fill_gaussian_pairs_matches_repeated_pair_calls() {
+        let mut a = SimRng::new(29);
+        let mut b = SimRng::new(29);
+        let mut buf = [(0.0, 0.0); 17];
+        a.fill_gaussian_pairs(&mut buf);
+        for &(x, y) in &buf {
+            let (bx, by) = b.gaussian_pair();
+            assert_eq!((x.to_bits(), y.to_bits()), (bx.to_bits(), by.to_bits()));
+        }
+    }
+
+    #[test]
+    fn nonzero_uniform_stays_in_open_interval() {
+        let mut rng = SimRng::new(31);
+        for _ in 0..10_000 {
+            let u = rng.nonzero_uniform();
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+
+    #[test]
+    fn counter_stream_is_a_pure_function_of_its_key() {
+        let key = [0x11DA5, 7, 0x0003_0005, 42];
+        let mut a = CounterRng::from_key(key);
+        let mut b = CounterRng::from_key(key);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn counter_streams_differ_in_every_key_lane() {
+        let base = [1u64, 2, 3, 4];
+        let mut reference = CounterRng::from_key(base);
+        let r0 = reference.next_u64();
+        for lane in 0..4 {
+            let mut tweaked = base;
+            tweaked[lane] += 1;
+            let mut other = CounterRng::from_key(tweaked);
+            assert_ne!(r0, other.next_u64(), "lane {lane} ignored by the key hash");
+        }
+    }
+
+    #[test]
+    fn counter_gaussians_are_standard_normal_across_keys() {
+        // One short stream per key, mimicking how the fading engine uses
+        // CounterRng (a few draws per (link, round) key): the aggregate
+        // over many keys must still be standard normal.
+        let n_keys = 20_000;
+        let (mut sum, mut sumsq, mut count) = (0.0, 0.0, 0);
+        for k in 0..n_keys {
+            let mut rng = CounterRng::from_key([0xFADE, k, k * 31 + 7, 0]);
+            for _ in 0..2 {
+                let (a, b) = rng.gaussian_pair();
+                sum += a + b;
+                sumsq += a * a + b * b;
+                count += 2;
+            }
+        }
+        let mean = sum / count as f64;
+        let var = sumsq / count as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
     }
 }

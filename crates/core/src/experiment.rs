@@ -15,7 +15,7 @@ use crate::sim::{PairedRecipe, Session, SessionBuilder, SessionTrial};
 use crate::system::SingleApSystem;
 use midas_channel::geometry::{Point, Rect};
 use midas_channel::topology::{single_ap, TopologyConfig};
-use midas_channel::{ChannelModel, Environment, EnvironmentKind, SimRng};
+use midas_channel::{ChannelModel, Environment, EnvironmentKind, FadingEngine, SimRng};
 use midas_mac::client_select::{select_clients_midas, select_clients_random};
 use midas_mac::drr::DrrScheduler;
 use midas_mac::tagging::TagTable;
@@ -356,6 +356,16 @@ pub fn end_to_end_capacity_with_model(
 ///
 /// [`three_ap_paper`]: PairedRecipe::three_ap_paper
 pub fn end_to_end_session(eight_aps: bool, rounds: usize, contention: ContentionModel) -> Session {
+    end_to_end_builder(eight_aps, rounds, contention).build()
+}
+
+/// The [`SessionBuilder`] behind [`end_to_end_session`], exposed so engine
+/// variants compose the identical recipe/mix before overriding knobs.
+fn end_to_end_builder(
+    eight_aps: bool,
+    rounds: usize,
+    contention: ContentionModel,
+) -> SessionBuilder {
     let recipe = if eight_aps {
         PairedRecipe::eight_ap_paper()
     } else {
@@ -365,7 +375,6 @@ pub fn end_to_end_session(eight_aps: bool, rounds: usize, contention: Contention
         .rounds(rounds)
         .contention(contention)
         .seed_mix(193, 61)
-        .build()
 }
 
 /// Figs. 15 / 16 — end-to-end network capacity of CAS vs MIDAS over random
@@ -383,6 +392,26 @@ pub fn end_to_end_series(
     contention: ContentionModel,
 ) -> EndToEndSeries {
     end_to_end_session(eight_aps, rounds, contention).run(topologies, seed)
+}
+
+/// [`end_to_end_series`] under an explicit [`FadingEngine`]: the identical
+/// workload (same recipe, contention, historical seed mix), differing only
+/// in where small-scale innovations come from.  `FadingEngine::Legacy`
+/// reproduces [`end_to_end_series`] bit for bit; `FadingEngine::Counter`
+/// runs the lazy counter-keyed path and is the series the Fig. 16 fidelity
+/// band is re-checked against under the new engine.
+pub fn end_to_end_series_with_engine(
+    eight_aps: bool,
+    topologies: usize,
+    rounds: usize,
+    seed: u64,
+    contention: ContentionModel,
+    engine: FadingEngine,
+) -> EndToEndSeries {
+    end_to_end_builder(eight_aps, rounds, contention)
+        .fading_engine(engine)
+        .build()
+        .run(topologies, seed)
 }
 
 /// The Fig. 16 headline band the calibration scores against: the median
@@ -560,10 +589,26 @@ pub fn enterprise_scaling(
     rounds: usize,
     seed: u64,
 ) -> EnterpriseScalingSeries {
+    enterprise_scaling_with_engine(scenario, topologies, rounds, seed, FadingEngine::Legacy)
+}
+
+/// [`enterprise_scaling`] under an explicit [`FadingEngine`] — the same
+/// scenario workload including the contention-degree diagnostic, with
+/// `FadingEngine::Legacy` reproducing [`enterprise_scaling`] bit for bit
+/// and `FadingEngine::Counter` exercising the lazy counter-keyed evolution
+/// path (the configuration behind the counter benchmark cells).
+pub fn enterprise_scaling_with_engine(
+    scenario: &Scenario,
+    topologies: usize,
+    rounds: usize,
+    seed: u64,
+    engine: FadingEngine,
+) -> EnterpriseScalingSeries {
     let env = scenario.environment();
     let session = SessionBuilder::new(*scenario)
         .rounds(rounds)
         .seed_mix(1021, 101)
+        .fading_engine(engine)
         .build();
     let rows = session.run_trials(topologies, seed, &|trial: &SessionTrial<'_>| {
         // Structural diagnostic: range-limited AP contention degree of the

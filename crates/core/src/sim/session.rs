@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use crate::runner::SeedSweep;
 use crate::sim::source::TopologySource;
+use midas_channel::FadingEngine;
 use midas_net::capture::ContentionModel;
 use midas_net::deployment::PairedTopology;
 use midas_net::observer::Observer;
@@ -86,6 +87,9 @@ pub struct SessionBuilder {
     rounds: usize,
     tag_width: Option<usize>,
     coherence_interval_rounds: Option<usize>,
+    fading: FadingEngine,
+    evolve_threads: usize,
+    stage_profiling: bool,
     mix: (u64, u64),
     threads: Option<usize>,
 }
@@ -100,6 +104,9 @@ impl SessionBuilder {
             rounds: 20,
             tag_width: None,
             coherence_interval_rounds: None,
+            fading: FadingEngine::Legacy,
+            evolve_threads: 1,
+            stage_profiling: false,
             mix: (1, 0),
             threads: None,
         }
@@ -139,6 +146,35 @@ impl SessionBuilder {
     /// interval with a correspondingly longer delay.
     pub fn coherence_interval_rounds(mut self, interval: usize) -> Self {
         self.coherence_interval_rounds = Some(interval.max(1));
+        self
+    }
+
+    /// Selects the small-scale fading engine (default:
+    /// [`FadingEngine::Legacy`], which keeps every historical series
+    /// byte-identical).  [`FadingEngine::Counter`] derives each innovation
+    /// from a stateless counter-based stream keyed by
+    /// `(trial_seed, ap, link, round)`, enabling lazy active-set evolution
+    /// and bit-identical intra-trial parallel evolve; its series are
+    /// statistically equivalent but not draw-for-draw identical to Legacy.
+    pub fn fading_engine(mut self, engine: FadingEngine) -> Self {
+        self.fading = engine;
+        self
+    }
+
+    /// Sets how many threads each trial's counter-engine channel evolution
+    /// may use (default: 1).  Results are bit-identical at any setting; the
+    /// knob has no effect under [`FadingEngine::Legacy`], whose pinned draw
+    /// order is inherently serial.
+    pub fn evolve_threads(mut self, threads: usize) -> Self {
+        self.evolve_threads = threads.max(1);
+        self
+    }
+
+    /// Enables per-round stage timing accumulation (default: off).  When
+    /// on, each simulator tracks wall-clock per pipeline stage and reports
+    /// the totals through [`Observer::on_finish`].
+    pub fn stage_profiling(mut self, enabled: bool) -> Self {
+        self.stage_profiling = enabled;
         self
     }
 
@@ -304,6 +340,8 @@ impl SessionTrial<'_> {
         if let Some(interval) = inner.coherence_interval_rounds {
             config.coherence_interval_rounds = interval;
         }
+        config.fading = inner.fading;
+        config.evolve_threads = inner.evolve_threads;
         config
     }
 
@@ -315,7 +353,13 @@ impl SessionTrial<'_> {
             MacKind::Cas => self.pair.cas.clone(),
             MacKind::Midas => self.pair.das.clone(),
         };
-        NetworkSimulator::new(topo, self.config(mac)).with_traffic_kind(self.session.inner.traffic)
+        let sim = NetworkSimulator::new(topo, self.config(mac))
+            .with_traffic_kind(self.session.inner.traffic);
+        if self.session.inner.stage_profiling {
+            sim.with_stage_profiling()
+        } else {
+            sim
+        }
     }
 
     /// Runs one MAC variant to completion, accumulating the full

@@ -25,9 +25,10 @@ const PINNED: &[&str] = &[
     "sim/mod.rs: use session::{PairedSamples, Session, SessionBuilder, SessionSeries, SessionTrial}",
     "sim/mod.rs: use source::{PairedRecipe, TopologySource}",
     "sim/mod.rs: use spec::{ExperimentOutput, ExperimentSpec}",
+    "sim/mod.rs: use midas_channel::FadingEngine",
     "sim/mod.rs: use midas_net::capture::{ContentionModel, PhysicalConfig}",
     "sim/mod.rs: use midas_net::observer::{Accumulate, Observer, RoundRecord, RunningSummary}",
-    "sim/mod.rs: use midas_net::simulator::{MacKind, ScanMode}",
+    "sim/mod.rs: use midas_net::simulator::{MacKind, ScanMode, StageTimings}",
     "sim/mod.rs: use midas_net::traffic::{FullBuffer, OnOff, Poisson, TrafficKind, TrafficModel}",
     "sim/session.rs: struct PairedSamples",
     "sim/session.rs: fn from_pairs",
@@ -40,6 +41,9 @@ const PINNED: &[&str] = &[
     "sim/session.rs: fn rounds",
     "sim/session.rs: fn tag_width",
     "sim/session.rs: fn coherence_interval_rounds",
+    "sim/session.rs: fn fading_engine",
+    "sim/session.rs: fn evolve_threads",
+    "sim/session.rs: fn stage_profiling",
     "sim/session.rs: fn seed_mix",
     "sim/session.rs: fn threads",
     "sim/session.rs: fn build",

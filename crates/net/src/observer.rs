@@ -23,7 +23,7 @@
 //!
 //! [`TopologyResult`]: crate::simulator::TopologyResult
 
-use crate::simulator::TopologyResult;
+use crate::simulator::{StageTimings, TopologyResult};
 use midas_mac::timing::DEFAULT_TXOP_US;
 
 /// Everything that happened in one simulated TXOP round, lent to observers
@@ -66,6 +66,16 @@ pub trait Observer {
 
     /// Called after each round is evaluated.
     fn on_round(&mut self, record: &RoundRecord<'_>);
+
+    /// Called once after the final round with the cumulative stage
+    /// wall-clock of the run (all-zero unless the simulator was built with
+    /// [`with_stage_profiling`]).  Default: ignored — result observers
+    /// need not care about performance telemetry.
+    ///
+    /// [`with_stage_profiling`]: crate::simulator::NetworkSimulator::with_stage_profiling
+    fn on_finish(&mut self, timings: &StageTimings) {
+        let _ = timings;
+    }
 }
 
 /// The accumulate-everything observer: reproduces the legacy
@@ -274,6 +284,12 @@ impl Observer for Tee<'_> {
     fn on_round(&mut self, record: &RoundRecord<'_>) {
         for obs in &mut self.observers {
             obs.on_round(record);
+        }
+    }
+
+    fn on_finish(&mut self, timings: &StageTimings) {
+        for obs in &mut self.observers {
+            obs.on_finish(timings);
         }
     }
 }

@@ -20,14 +20,15 @@ use crate::scale::index::SpatialIndex;
 use crate::traffic::{FullBuffer, TrafficKind, TrafficModel};
 use midas_channel::geometry::Point;
 use midas_channel::topology::Topology;
-use midas_channel::{ChannelMatrix, ChannelModel, Environment, SimRng};
-use midas_linalg::CMat;
+use midas_channel::{ChannelMatrix, ChannelModel, Environment, FadingEngine, SimRng};
+use midas_linalg::{CMat, Complex};
 use midas_mac::client_select::{select_clients_cas, select_clients_midas};
 use midas_mac::drr::DrrScheduler;
 use midas_mac::tagging::TagTable;
 use midas_mac::timing::DEFAULT_TXOP_US;
 use midas_phy::capacity::shannon_capacity_bps_hz;
 use midas_phy::precoder::{make_precoder, Precoder, PrecoderKind};
+use std::time::Instant;
 
 /// Which MAC discipline the APs run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +91,18 @@ pub struct NetworkSimConfig {
     /// (default, bit-identical to the pre-capture simulator) or the
     /// physical energy-detect + SINR-capture model (`crate::capture`).
     pub contention: ContentionModel,
+    /// Small-scale fading engine.  `Legacy` (the constructor default) keeps
+    /// every golden byte-identical; `Counter` switches evolution to
+    /// stateless counter-keyed draws, enabling lazy (active-set) and
+    /// parallel evolution — same Gauss–Markov statistics, different draw
+    /// values (see [`FadingEngine`]).
+    pub fading: FadingEngine,
+    /// Worker threads for the `Counter` engine's evolve stage (`1`, the
+    /// constructor default, stays on the calling thread).  Results are
+    /// bit-identical at any thread count — draws are keyed, not sequenced —
+    /// which `tests/proptest_fading.rs` pins.  Ignored under `Legacy`,
+    /// whose pinned draw order is inherently serial.
+    pub evolve_threads: usize,
 }
 
 impl NetworkSimConfig {
@@ -106,6 +119,8 @@ impl NetworkSimConfig {
             scan: ScanMode::Indexed,
             contention: ContentionModel::Graph,
             coherence_interval_rounds: 1,
+            fading: FadingEngine::Legacy,
+            evolve_threads: 1,
         }
     }
 
@@ -122,6 +137,8 @@ impl NetworkSimConfig {
             scan: ScanMode::Indexed,
             contention: ContentionModel::Graph,
             coherence_interval_rounds: 1,
+            fading: FadingEngine::Legacy,
+            evolve_threads: 1,
         }
     }
 
@@ -226,6 +243,58 @@ impl TopologyResult {
     }
 }
 
+/// Cumulative wall-clock spent in each stage of the round pipeline,
+/// accumulated in the round workspace when stage profiling is enabled
+/// (see [`NetworkSimulator::with_stage_profiling`]) and surfaced through
+/// [`NetworkSimulator::stage_timings`] and [`Observer::on_finish`].
+///
+/// All-zero when profiling is off — the hot path then never reads a clock.
+/// The gather of per-stream interferer neighbourhoods is attributed to
+/// `evaluate_s` (it is the evaluate stage's discovery half, hoisted so the
+/// counter fading engine knows which rows the round will read).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Channel evolution (legacy eager sweep or counter lazy catch-up).
+    pub evolve_s: f64,
+    /// Carrier sensing against the antennas already on the air.
+    pub sense_s: f64,
+    /// Access-order shuffle, backlog queries, client selection, slot claims.
+    pub select_s: f64,
+    /// Per-slot precoding.
+    pub precode_s: f64,
+    /// Interferer gather + SINR/capacity computation.
+    pub evaluate_s: f64,
+    /// DRR fairness and traffic-queue bookkeeping.
+    pub settle_s: f64,
+    /// Rounds profiled into these totals.
+    pub rounds: usize,
+}
+
+impl StageTimings {
+    /// Total wall-clock across all stages.
+    pub fn total_s(&self) -> f64 {
+        self.evolve_s
+            + self.sense_s
+            + self.select_s
+            + self.precode_s
+            + self.evaluate_s
+            + self.settle_s
+    }
+}
+
+/// `Some(now)` when stage profiling is on — the pipeline's "maybe read the
+/// clock" primitive.
+#[inline]
+fn tick(enabled: bool) -> Option<Instant> {
+    enabled.then(Instant::now)
+}
+
+/// Seconds since a [`tick`], `0.0` when profiling was off.
+#[inline]
+fn secs_since(start: Option<Instant>) -> f64 {
+    start.map_or(0.0, |s| s.elapsed().as_secs_f64())
+}
+
 /// One concurrent transmission inside a round.
 ///
 /// Lives in the workspace's slot pool: the index buffers are cleared and
@@ -253,7 +322,8 @@ impl ActiveTransmission {
 }
 
 /// All per-round scratch of the staged round pipeline
-/// (`evolve → backlog → sense → select → precode → evaluate → settle`).
+/// (`evolve → backlog → sense → select → gather → fading → precode →
+/// evaluate → settle`).
 ///
 /// The simulator owns exactly one of these and threads it through every
 /// stage; every buffer is cleared — never reallocated — between rounds, the
@@ -306,6 +376,23 @@ struct RoundWorkspace {
     own_clients: Vec<Vec<usize>>,
     /// Global client id → AP-local index within its owning AP.
     local_of: Vec<u32>,
+    /// Flattened interfering-transmission ids of every stream this round,
+    /// in stream order (gather stage output, evaluate stage input).
+    stream_interferers: Vec<usize>,
+    /// Per-stream end offsets into `stream_interferers`, in stream order.
+    stream_bounds: Vec<usize>,
+    /// `(ap, client)` channel rows the current round reads — the counter
+    /// engine's active set (serving rows plus interferer rows).
+    touched: Vec<(u32, u32)>,
+    /// Gaussian-pair scratch of the serial counter evolve path.
+    pairs: Vec<(f64, f64)>,
+    /// Evolved-row staging of the parallel counter evolve path: each job
+    /// writes its row into a disjoint segment, copied back serially.
+    evolve_scratch: Vec<Complex>,
+    /// Per-job segment offsets into `evolve_scratch` (prefix sums).
+    job_offsets: Vec<usize>,
+    /// Stage wall-clock totals (all-zero unless profiling is enabled).
+    timings: StageTimings,
 }
 
 impl RoundWorkspace {
@@ -367,6 +454,12 @@ impl RoundWorkspace {
                 .map(|v| v.capacity() * size_of::<usize>())
                 .sum::<usize>()
             + self.local_of.capacity() * size_of::<u32>()
+            + self.stream_interferers.capacity() * size_of::<usize>()
+            + self.stream_bounds.capacity() * size_of::<usize>()
+            + self.touched.capacity() * size_of::<(u32, u32)>()
+            + self.pairs.capacity() * size_of::<(f64, f64)>()
+            + self.evolve_scratch.capacity() * size_of::<Complex>()
+            + self.job_offsets.capacity() * size_of::<usize>()
     }
 }
 
@@ -383,6 +476,13 @@ struct ApChannel {
     /// Global client id → row of `ch`; `None` when the client is out of
     /// radio range of every antenna of this AP (its channel is never read).
     row_of: Vec<Option<u32>>,
+    /// Counter engine only: per-row next evolution boundary (round number).
+    /// A row whose entry is `b` has absorbed every keyed innovation for
+    /// boundaries `< b`; lazy catch-up replays boundaries `b, b+interval, …`
+    /// up to the current round before the row is read.  Starts at 0 (the
+    /// initial realisation has seen no evolution) and is never consulted by
+    /// the legacy engine.
+    next_boundary: Vec<u64>,
 }
 
 impl ApChannel {
@@ -428,6 +528,13 @@ pub struct NetworkSimulator {
     /// Test knob: rebuild `workspace` from scratch every round, to prove
     /// reuse is observationally free (see `proptest_workspace.rs`).
     fresh_workspace_per_round: bool,
+    /// Test knob: under the counter engine, evolve *every* in-range row
+    /// every round instead of only the rows the round reads.  Lazy
+    /// evolution must be — and is pinned by `proptest_fading.rs` to be —
+    /// bit-identical to this eager reference.
+    eager_counter_evolve: bool,
+    /// Collect per-stage wall-clock into the workspace's [`StageTimings`].
+    profile_stages: bool,
 }
 
 impl NetworkSimulator {
@@ -486,7 +593,12 @@ impl NetworkSimulator {
                 for (row, &c) in visible.iter().enumerate() {
                     row_of[c] = Some(row as u32);
                 }
-                ApChannel { ch, row_of }
+                let next_boundary = vec![0; visible.len()];
+                ApChannel {
+                    ch,
+                    row_of,
+                    next_boundary,
+                }
             })
             .collect();
 
@@ -521,6 +633,8 @@ impl NetworkSimulator {
             precoder: make_precoder(config.precoder),
             workspace,
             fresh_workspace_per_round: false,
+            eager_counter_evolve: false,
+            profile_stages: false,
         }
     }
 
@@ -538,6 +652,32 @@ impl NetworkSimulator {
     /// growing: steady-state rounds allocate nothing from the workspace.
     pub fn workspace_heap_footprint_bytes(&self) -> usize {
         self.workspace.heap_footprint_bytes()
+    }
+
+    /// Test knob: with [`FadingEngine::Counter`], evolve every in-range
+    /// channel row every round instead of only the rows the round reads.
+    /// Results must be — and are pinned by property tests to be —
+    /// bit-identical to the default lazy evolution; this exists only so
+    /// that equivalence is checkable.  No effect under `Legacy` (which is
+    /// always eager).
+    pub fn with_eager_counter_evolve(mut self) -> Self {
+        self.eager_counter_evolve = true;
+        self
+    }
+
+    /// Enables per-stage wall-clock accumulation into [`StageTimings`]
+    /// (read back via [`NetworkSimulator::stage_timings`], streamed to
+    /// observers via [`Observer::on_finish`]).  Off by default so the hot
+    /// path never reads a clock.
+    pub fn with_stage_profiling(mut self) -> Self {
+        self.profile_stages = true;
+        self
+    }
+
+    /// Stage wall-clock totals accumulated so far (all-zero unless
+    /// [`with_stage_profiling`](Self::with_stage_profiling) was used).
+    pub fn stage_timings(&self) -> StageTimings {
+        self.workspace.timings
     }
 
     /// Replaces the traffic model (default: [`FullBuffer`]) with a custom
@@ -578,11 +718,15 @@ impl NetworkSimulator {
     /// observer's, flat in the round count for fixed-size observers.
     ///
     /// Each round is an explicit staged pipeline —
-    /// `evolve → backlog → sense → select → precode → evaluate → settle` —
-    /// threaded through the simulator's round workspace: `evolve_stage`
-    /// advances the channels, `plan_stage` covers backlog through precode,
-    /// `evaluate_stage` computes deliveries, and `settle_stage` updates
-    /// fairness and queues.
+    /// `evolve → backlog → sense → select → gather → fading → precode →
+    /// evaluate → settle` — threaded through the simulator's round
+    /// workspace: `evolve_stage` advances the channels eagerly under the
+    /// legacy fading engine, `plan_stage` covers backlog through client
+    /// selection, `gather_stage` records each stream's interferers,
+    /// `counter_fading_stage` lazily catches up exactly the channel rows
+    /// the round reads under the counter engine, `precode_stage` computes
+    /// the precoding matrices, `evaluate_stage` computes deliveries, and
+    /// `settle_stage` updates fairness and queues.
     pub fn run_with(&mut self, observer: &mut dyn Observer) {
         observer.on_start(
             self.topo.clients.len(),
@@ -599,11 +743,36 @@ impl NetworkSimulator {
         }
         for round in 0..self.config.rounds {
             if self.fresh_workspace_per_round {
+                let carried = ws.timings;
                 ws = RoundWorkspace::for_simulator(&self.topo, &self.config);
+                ws.timings = carried;
             }
+            let t = tick(self.profile_stages);
             self.evolve_stage(round);
+            ws.timings.evolve_s += secs_since(t);
+
             self.plan_stage(round, &mut ws);
+
+            // The gather half of evaluation runs before precoding so the
+            // counter engine knows every channel row the round will read
+            // (serving rows and interferer rows alike) and can catch
+            // exactly those up; it reads only positions, so hoisting it is
+            // invisible to the legacy engine.
+            let t = tick(self.profile_stages);
+            self.gather_stage(&mut ws);
+            ws.timings.evaluate_s += secs_since(t);
+
+            let t = tick(self.profile_stages);
+            self.counter_fading_stage(round, &mut ws);
+            ws.timings.evolve_s += secs_since(t);
+
+            let t = tick(self.profile_stages);
+            self.precode_stage(&mut ws);
+            ws.timings.precode_s += secs_since(t);
+
+            let t = tick(self.profile_stages);
             self.evaluate_stage(&mut ws);
+            ws.timings.evaluate_s += secs_since(t);
 
             ws.transmitting_aps.clear();
             ws.transmitting_aps
@@ -619,15 +788,27 @@ impl NetworkSimulator {
                 streams: total_streams,
             });
 
+            let t = tick(self.profile_stages);
             self.settle_stage(&mut ws);
+            ws.timings.settle_s += secs_since(t);
+            if self.profile_stages {
+                ws.timings.rounds += 1;
+            }
         }
+        observer.on_finish(&ws.timings);
         self.workspace = ws;
     }
 
-    /// Pipeline stage 1 — channel evolution.  Channels advance one coherence
-    /// interval (default: every round, one TXOP) in place; rounds inside the
-    /// interval reuse the cached realisation.
+    /// Pipeline stage 1 — legacy channel evolution.  Channels advance one
+    /// coherence interval (default: every round, one TXOP) in place; rounds
+    /// inside the interval reuse the cached realisation.  The counter
+    /// engine evolves later in the round — lazily, once the plan and gather
+    /// stages have determined which rows the round reads (see
+    /// [`counter_fading_stage`](Self::counter_fading_stage)).
     fn evolve_stage(&mut self, round: usize) {
+        if self.config.fading != FadingEngine::Legacy {
+            return;
+        }
         let interval = self.config.coherence_interval_rounds.max(1);
         if !round.is_multiple_of(interval) {
             return;
@@ -638,11 +819,19 @@ impl NetworkSimulator {
         }
     }
 
-    /// Pipeline stages 2–5 — backlog, sense, select, precode: decides who
-    /// transmits this round, filling the workspace's transmission slots.
+    /// Pipeline stages 2–4 — backlog, sense, select: decides who transmits
+    /// this round, filling the workspace's transmission slots with the
+    /// chosen clients and antennas.  Precoding happens in a later stage
+    /// ([`precode_stage`](Self::precode_stage)) so the counter fading
+    /// engine can bring the selected rows up to date in between; sensing
+    /// and selection never read small-scale fading (tags and DRR run on
+    /// large-scale RSSI), so the split is invisible to the legacy engine.
     fn plan_stage(&mut self, round: usize, ws: &mut RoundWorkspace) {
         let num_aps = self.topo.aps.len();
         let cutoff = self.config.interaction_range_m;
+        let profile = self.profile_stages;
+        let plan_start = tick(profile);
+        let mut sense_s = 0.0;
 
         // Split the workspace into per-field borrows so the sensing closure
         // (reading active antennas) and the slot writes (mutating buffers)
@@ -657,6 +846,7 @@ impl NetworkSimulator {
             transmissions,
             live,
             own_clients,
+            timings,
             ..
         } = ws;
 
@@ -707,6 +897,7 @@ impl NetworkSimulator {
             };
 
             // Which antennas may transmit given what is already on the air?
+            let t_sense = tick(profile);
             available.clear();
             match self.config.mac {
                 MacKind::Midas => available.extend(
@@ -719,6 +910,7 @@ impl NetworkSimulator {
                     }
                 }
             }
+            sense_s += secs_since(t_sense);
             if available.is_empty() {
                 continue;
             }
@@ -735,7 +927,8 @@ impl NetworkSimulator {
                 continue;
             }
 
-            // Claim a transmission slot (buffers retained from prior rounds).
+            // Claim a transmission slot (buffers retained from prior rounds);
+            // its stale precoding matrix is overwritten by the precode stage.
             if transmissions.len() == *live {
                 transmissions.push(ActiveTransmission::empty());
             }
@@ -746,11 +939,6 @@ impl NetworkSimulator {
             slot.antenna_idx.clear();
             slot.antenna_idx.extend_from_slice(available);
 
-            // Precode over the (selected clients × available antennas) channel.
-            let sub = self.channels[ap_id].select(&slot.clients, &slot.antenna_idx);
-            let precoding = self.precoder.precode(&sub.h, sub.tx_power_mw, sub.noise_mw);
-            slot.v = precoding.v;
-
             for &k in slot.antenna_idx.iter() {
                 active_antenna_positions.push(ap.antennas[k]);
                 if let Some(index) = active_index.as_mut() {
@@ -759,17 +947,26 @@ impl NetworkSimulator {
             }
             *live += 1;
         }
+
+        if profile {
+            timings.sense_s += sense_s;
+            timings.select_s += secs_since(plan_start) - sense_s;
+        }
     }
 
-    /// Pipeline stage 6 — evaluate: computes per-client capacities including
-    /// cross-AP interference, filling `ws.capacities` with
-    /// `(client, serving AP, capacity)` triples.
+    /// Pipeline stage 5 — gather: discovers each stream's interfering
+    /// transmissions (position-only neighbourhood queries) and stores them
+    /// in the workspace for the evaluate stage to replay.
     ///
-    /// A concurrent transmission only interferes with a client when at least
-    /// one of its transmitting antennas is within the interaction range; both
-    /// scan modes apply that rule and visit interferers in transmission
-    /// order, so the capacities are bit-identical between them.
-    fn evaluate_stage(&self, ws: &mut RoundWorkspace) {
+    /// Hoisted out of evaluation so the full set of channel rows the round
+    /// reads — serving rows *and* interferer rows — is known before any
+    /// fading value is consumed; that set is exactly what the counter
+    /// engine's lazy evolution catches up.  A concurrent transmission only
+    /// interferes with a client when at least one of its transmitting
+    /// antennas is within the interaction range; both scan modes apply that
+    /// rule and visit interferers in transmission order, so the stored
+    /// lists are bit-identical between them.
+    fn gather_stage(&self, ws: &mut RoundWorkspace) {
         let cutoff = self.config.interaction_range_m;
         let RoundWorkspace {
             interferer_index,
@@ -778,7 +975,8 @@ impl NetworkSimulator {
             interferers,
             transmissions,
             live,
-            capacities,
+            stream_interferers,
+            stream_bounds,
             ..
         } = ws;
         let transmissions = &transmissions[..*live];
@@ -799,36 +997,11 @@ impl NetworkSimulator {
             }
         }
 
-        capacities.clear();
-        for (tx_idx, t) in transmissions.iter().enumerate() {
-            let ch = &self.channels[t.ap_id];
-            for (stream_idx, &client) in t.clients.iter().enumerate() {
+        stream_interferers.clear();
+        stream_bounds.clear();
+        for t in transmissions.iter() {
+            for &client in t.clients.iter() {
                 let client_pos = &self.topo.clients[client].position;
-                // The client's channel row towards every antenna of the
-                // serving AP, hoisted once per stream instead of one
-                // row-lookup per (antenna, stream) pair.
-                let h_row = ch.ch.h.row(ch.row(client));
-                // Desired + intra-AP interference from this transmission.
-                // Intra-AP leakage is tracked separately from cross-AP
-                // interference: the serving AP's precoder knows about the
-                // former, so only the former enters the *expected* SINR the
-                // physical model's rate adaptation sees.
-                let mut signal = 0.0;
-                let mut intra_interference = 0.0;
-                for (other_stream, _) in t.clients.iter().enumerate() {
-                    let mut amp = midas_linalg::Complex::ZERO;
-                    for (row, &k) in t.antenna_idx.iter().enumerate() {
-                        amp += h_row[k] * t.v.get(row, other_stream);
-                    }
-                    if other_stream == stream_idx {
-                        signal = amp.norm_sqr();
-                    } else {
-                        intra_interference += amp.norm_sqr();
-                    }
-                }
-                let mut interference = intra_interference;
-                // Cross-AP interference from the concurrent transmissions in
-                // radio range of this client, in transmission order.
                 interferers.clear();
                 match interferer_index {
                     Some(index) => {
@@ -847,7 +1020,271 @@ impl NetworkSimulator {
                         })
                     })),
                 }
-                for &o in interferers.iter() {
+                stream_interferers.extend_from_slice(interferers);
+                stream_bounds.push(stream_interferers.len());
+            }
+        }
+    }
+
+    /// Pipeline stage 6 — counter-engine fading: brings exactly the channel
+    /// rows this round reads up to the current evolution boundary.
+    ///
+    /// The active set is the union of each live slot's serving rows and
+    /// each stream's interferer rows (from the gather stage): those — and
+    /// only those — feed the precode and evaluate stages.  Rows not in the
+    /// set are left behind; their `next_boundary` bookmark lets a later
+    /// round replay the identical keyed innovations they skipped, boundary
+    /// by boundary, so lazy evolution is bit-identical to eager (pinned by
+    /// `proptest_fading.rs`).  Because every row's update is a pure
+    /// function of `(key, prior state)`, the catch-up shards freely across
+    /// `config.evolve_threads` workers: phase A computes evolved rows into
+    /// disjoint scratch segments in parallel, phase B copies them back
+    /// serially — no draw order exists to violate.
+    fn counter_fading_stage(&mut self, round: usize, ws: &mut RoundWorkspace) {
+        if self.config.fading != FadingEngine::Counter {
+            return;
+        }
+        let interval = self.config.coherence_interval_rounds.max(1) as u64;
+        // The last evolution boundary at or before this round; every row
+        // read this round must have absorbed the innovations keyed by
+        // boundaries 0, interval, …, current_boundary (matching the legacy
+        // engine's cadence of evolving on rounds divisible by the interval).
+        let current_boundary = (round as u64 / interval) * interval;
+        let delay_s = interval as f64 * DEFAULT_TXOP_US as f64 * 1e-6;
+        let rho = self.model.step_correlation(delay_s);
+
+        let RoundWorkspace {
+            transmissions,
+            live,
+            stream_interferers,
+            stream_bounds,
+            touched,
+            pairs,
+            evolve_scratch,
+            job_offsets,
+            ..
+        } = ws;
+        let transmissions = &transmissions[..*live];
+
+        touched.clear();
+        if self.eager_counter_evolve {
+            // Test reference: every in-range row of every AP, every round.
+            for (ap_id, apch) in self.channels.iter().enumerate() {
+                for (client, row) in apch.row_of.iter().enumerate() {
+                    if row.is_some() {
+                        touched.push((ap_id as u32, client as u32));
+                    }
+                }
+            }
+        } else {
+            // Serving rows: read by precode and by the evaluate stage's
+            // signal/intra-interference terms.
+            for t in transmissions.iter() {
+                for &client in t.clients.iter() {
+                    touched.push((t.ap_id as u32, client as u32));
+                }
+            }
+            // Interferer rows: each served client's row in every other
+            // transmission within radio range of it.
+            let mut stream_no = 0;
+            for (tx_idx, t) in transmissions.iter().enumerate() {
+                for &client in t.clients.iter() {
+                    let lo = if stream_no == 0 {
+                        0
+                    } else {
+                        stream_bounds[stream_no - 1]
+                    };
+                    let hi = stream_bounds[stream_no];
+                    stream_no += 1;
+                    for &o in &stream_interferers[lo..hi] {
+                        if o != tx_idx {
+                            touched.push((transmissions[o].ap_id as u32, client as u32));
+                        }
+                    }
+                }
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+
+        let threads = self.config.evolve_threads.max(1).min(touched.len().max(1));
+        if threads <= 1 {
+            for &(ap, client) in touched.iter() {
+                let apch = &mut self.channels[ap as usize];
+                let row = apch.row_of[client as usize]
+                    .expect("touched row must be in range of its AP")
+                    as usize;
+                let mut boundary = apch.next_boundary[row];
+                if boundary > current_boundary {
+                    continue; // up to date within this coherence interval
+                }
+                let h_row = apch.ch.h.row_mut(row);
+                let g_row = apch.ch.large_scale.row(row);
+                while boundary <= current_boundary {
+                    self.model.evolve_row_counter(
+                        h_row,
+                        g_row,
+                        rho,
+                        ap as u64,
+                        client as u64,
+                        boundary,
+                        pairs,
+                    );
+                    boundary += interval;
+                }
+                apch.next_boundary[row] = boundary;
+            }
+            return;
+        }
+
+        // Parallel catch-up.  Phase A: each worker evolves a contiguous
+        // chunk of the (sorted, deduped — hence disjoint) touched rows into
+        // its disjoint slice of one scratch buffer, reading the channel
+        // state immutably.
+        job_offsets.clear();
+        job_offsets.push(0);
+        let mut total = 0usize;
+        for &(ap, _) in touched.iter() {
+            total += self.channels[ap as usize].ch.num_antennas();
+            job_offsets.push(total);
+        }
+        evolve_scratch.clear();
+        evolve_scratch.resize(total, Complex::ZERO);
+
+        let channels = &self.channels;
+        let model = &self.model;
+        let jobs = &touched[..];
+        let per_thread = jobs.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut rest = evolve_scratch.as_mut_slice();
+            let mut job_lo = 0usize;
+            for _ in 0..threads {
+                let job_hi = (job_lo + per_thread).min(jobs.len());
+                if job_hi <= job_lo {
+                    break;
+                }
+                let base = job_offsets[job_lo];
+                let elems = job_offsets[job_hi] - base;
+                let (mine, tail) = rest.split_at_mut(elems);
+                rest = tail;
+                let my_jobs = &jobs[job_lo..job_hi];
+                let my_offsets = &job_offsets[job_lo..=job_hi];
+                scope.spawn(move || {
+                    let mut pairs = Vec::new();
+                    for (i, &(ap, client)) in my_jobs.iter().enumerate() {
+                        let apch = &channels[ap as usize];
+                        let row = apch.row_of[client as usize]
+                            .expect("touched row must be in range of its AP")
+                            as usize;
+                        let seg = &mut mine[my_offsets[i] - base..my_offsets[i + 1] - base];
+                        seg.copy_from_slice(apch.ch.h.row(row));
+                        let g_row = apch.ch.large_scale.row(row);
+                        let mut boundary = apch.next_boundary[row];
+                        while boundary <= current_boundary {
+                            model.evolve_row_counter(
+                                seg,
+                                g_row,
+                                rho,
+                                ap as u64,
+                                client as u64,
+                                boundary,
+                                &mut pairs,
+                            );
+                            boundary += interval;
+                        }
+                    }
+                });
+                job_lo = job_hi;
+            }
+        });
+
+        // Phase B: serial copy-back + bookkeeping.
+        for (i, &(ap, client)) in touched.iter().enumerate() {
+            let apch = &mut self.channels[ap as usize];
+            let row = apch.row_of[client as usize].expect("touched row must be in range of its AP")
+                as usize;
+            if apch.next_boundary[row] > current_boundary {
+                continue; // was already up to date; scratch holds an unchanged copy
+            }
+            apch.ch
+                .h
+                .row_mut(row)
+                .copy_from_slice(&evolve_scratch[job_offsets[i]..job_offsets[i + 1]]);
+            apch.next_boundary[row] = current_boundary + interval;
+        }
+    }
+
+    /// Pipeline stage 7 — precode: computes each live slot's precoding
+    /// matrix over the (selected clients × available antennas) channel.
+    /// Runs after the fading stage so it reads the current round's channel
+    /// state; the precoder is pure (no RNG), so extracting it from the plan
+    /// loop leaves the legacy engine's outputs untouched.
+    fn precode_stage(&self, ws: &mut RoundWorkspace) {
+        let RoundWorkspace {
+            transmissions,
+            live,
+            ..
+        } = ws;
+        for slot in &mut transmissions[..*live] {
+            let sub = self.channels[slot.ap_id].select(&slot.clients, &slot.antenna_idx);
+            let precoding = self.precoder.precode(&sub.h, sub.tx_power_mw, sub.noise_mw);
+            slot.v = precoding.v;
+        }
+    }
+
+    /// Pipeline stage 8 — evaluate: computes per-client capacities including
+    /// cross-AP interference, filling `ws.capacities` with
+    /// `(client, serving AP, capacity)` triples.  Interferers come from the
+    /// lists the gather stage stored, replayed in stream order.
+    fn evaluate_stage(&self, ws: &mut RoundWorkspace) {
+        let RoundWorkspace {
+            transmissions,
+            live,
+            capacities,
+            stream_interferers,
+            stream_bounds,
+            ..
+        } = ws;
+        let transmissions = &transmissions[..*live];
+
+        capacities.clear();
+        let mut stream_no = 0;
+        for (tx_idx, t) in transmissions.iter().enumerate() {
+            let ch = &self.channels[t.ap_id];
+            for (stream_idx, &client) in t.clients.iter().enumerate() {
+                // The client's channel row towards every antenna of the
+                // serving AP, hoisted once per stream instead of one
+                // row-lookup per (antenna, stream) pair.
+                let h_row = ch.ch.h.row(ch.row(client));
+                // Desired + intra-AP interference from this transmission.
+                // Intra-AP leakage is tracked separately from cross-AP
+                // interference: the serving AP's precoder knows about the
+                // former, so only the former enters the *expected* SINR the
+                // physical model's rate adaptation sees.
+                let mut signal = 0.0;
+                let mut intra_interference = 0.0;
+                for (other_stream, _) in t.clients.iter().enumerate() {
+                    let mut amp = Complex::ZERO;
+                    for (row, &k) in t.antenna_idx.iter().enumerate() {
+                        amp += h_row[k] * t.v.get(row, other_stream);
+                    }
+                    if other_stream == stream_idx {
+                        signal = amp.norm_sqr();
+                    } else {
+                        intra_interference += amp.norm_sqr();
+                    }
+                }
+                let mut interference = intra_interference;
+                // Cross-AP interference from the concurrent transmissions in
+                // radio range of this client, in transmission order.
+                let lo = if stream_no == 0 {
+                    0
+                } else {
+                    stream_bounds[stream_no - 1]
+                };
+                let hi = stream_bounds[stream_no];
+                stream_no += 1;
+                for &o in &stream_interferers[lo..hi] {
                     if o == tx_idx {
                         continue;
                     }
@@ -855,7 +1292,7 @@ impl NetworkSimulator {
                     let och = &self.channels[other.ap_id];
                     let oh_row = och.ch.h.row(och.row(client));
                     for other_stream in 0..other.clients.len() {
-                        let mut amp = midas_linalg::Complex::ZERO;
+                        let mut amp = Complex::ZERO;
                         for (row, &k) in other.antenna_idx.iter().enumerate() {
                             amp += oh_row[k] * other.v.get(row, other_stream);
                         }
