@@ -7,6 +7,10 @@
 //! at the **repo root** so the numbers are diffable PR-over-PR:
 //!
 //! * `fig16_8ap` — the paper's 8-AP end-to-end workload (binary graph).
+//! * `fig16_8ap_svc` — the same workload dispatched through the `midas-svc`
+//!   service layer on a cache miss (spec-JSON parse, job-directory setup,
+//!   streamed `rounds.jsonl`, atomic `result.json`) — the CLI-dispatch
+//!   overhead cell; its median over `fig16_8ap`'s is the service tax.
 //! * `enterprise_64ap` — the 64-AP / 512-client enterprise_office floor
 //!   (finite interaction range, indexed scans) — the acceptance workload.
 //! * `enterprise_256ap` — a beyond-ROADMAP 256-AP / 2048-client point.
@@ -51,6 +55,8 @@ use midas_net::capture::ContentionModel;
 use midas_net::metrics::Cdf;
 use midas_net::scale::Scenario;
 use midas_net::simulator::{MacKind, NetworkSimulator, StageTimings};
+use midas_svc::runner::{run_job, CancelToken};
+use midas_svc::spec::JobSpec;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -138,9 +144,42 @@ fn cell_by_name(
             }),
         }
     };
+    // The fig16_8ap workload dispatched through the service layer on a
+    // forced cache miss: spec-JSON parse, job-dir creation, streamed
+    // rounds.jsonl and atomic result.json all land inside the timed window,
+    // so (fig16_8ap_svc − fig16_8ap) is the whole CLI-dispatch overhead.
+    // Each repetition runs in a fresh numbered subdir (cache miss without
+    // wiping anything mid-measurement — a serving system never deletes a
+    // job dir per request); the scratch root is removed after sampling.
+    let svc = |name, default_topologies| {
+        let topologies = topologies_override.unwrap_or(default_topologies).max(1);
+        PipelineCell {
+            name,
+            aps: 8,
+            clients: 32,
+            topologies,
+            rounds,
+            engine: FadingEngine::Legacy,
+            run: Box::new(move || {
+                use std::sync::atomic::{AtomicUsize, Ordering};
+                static REP: AtomicUsize = AtomicUsize::new(0);
+                let text = format!(
+                    "{{\"experiment\":{{\"kind\":\"fig16_eight_ap_simulation\",\
+                     \"topologies\":{topologies},\"rounds\":{rounds},\
+                     \"contention\":{{\"model\":\"graph\"}}}},\"seed\":{BENCH_SEED}}}"
+                );
+                let spec = JobSpec::from_json_str(&text).expect("bench spec parses");
+                let dir = svc_scratch_root().join(REP.fetch_add(1, Ordering::Relaxed).to_string());
+                let output = run_job(&spec, &dir, &CancelToken::new()).expect("bench job runs");
+                let s = output.expect_end_to_end();
+                s.network.cas.iter().sum::<f64>() + s.network.das.iter().sum::<f64>()
+            }),
+        }
+    };
     match name {
         "fig16_8ap" => Some(fig16("fig16_8ap", FadingEngine::Legacy, 4)),
         "fig16_8ap_counter" => Some(fig16("fig16_8ap_counter", FadingEngine::Counter, 4)),
+        "fig16_8ap_svc" => Some(svc("fig16_8ap_svc", 4)),
         "enterprise_64ap" => Some(enterprise("enterprise_64ap", 64, FadingEngine::Legacy, 3)),
         "enterprise_64ap_counter" => Some(enterprise(
             "enterprise_64ap_counter",
@@ -163,6 +202,12 @@ fn cell_by_name(
 /// Simulated TXOP rounds per repetition: CAS + MIDAS per realisation.
 fn sim_rounds(cell: &PipelineCell) -> usize {
     2 * cell.topologies * cell.rounds
+}
+
+/// Scratch root for the service-dispatch cell's job directories, unique per
+/// bench process; wiped once after sampling.
+fn svc_scratch_root() -> PathBuf {
+    std::env::temp_dir().join(format!("midas-bench-svc-{}", std::process::id()))
 }
 
 /// The repo root, resolved like `midas_bench::default_figure_dir` does —
@@ -221,25 +266,13 @@ fn print_stage_breakdown(timings: &StageTimings) {
     if timings.rounds == 0 || total <= 0.0 {
         return;
     }
-    let pct = |s: f64| 100.0 * s / total;
-    println!(
-        "# stages over {} rounds: evolve {:.3} s ({:.1} %), sense {:.3} s ({:.1} %), \
-         select {:.3} s ({:.1} %), precode {:.3} s ({:.1} %), evaluate {:.3} s ({:.1} %), \
-         settle {:.3} s ({:.1} %)",
-        timings.rounds,
-        timings.evolve_s,
-        pct(timings.evolve_s),
-        timings.sense_s,
-        pct(timings.sense_s),
-        timings.select_s,
-        pct(timings.select_s),
-        timings.precode_s,
-        pct(timings.precode_s),
-        timings.evaluate_s,
-        pct(timings.evaluate_s),
-        timings.settle_s,
-        pct(timings.settle_s),
-    );
+    let line = timings
+        .stages()
+        .iter()
+        .map(|(stage, s)| format!("{stage} {s:.3} s ({:.1} %)", 100.0 * s / total))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!("# stages over {} rounds: {line}", timings.rounds);
 }
 
 /// Flat MIDAS hot loop for profilers: one long simulation, no timers in the
@@ -310,8 +343,9 @@ fn main() {
 
     let names = env_list(
         "MIDAS_PIPELINE_CELLS",
-        "fig16_8ap,fig16_8ap_counter,enterprise_64ap,enterprise_64ap_counter,\
-         enterprise_256ap,enterprise_256ap_counter,metro_1024ap",
+        "fig16_8ap,fig16_8ap_counter,fig16_8ap_svc,enterprise_64ap,\
+         enterprise_64ap_counter,enterprise_256ap,enterprise_256ap_counter,\
+         metro_1024ap",
     );
     let reps = env_usize("MIDAS_PIPELINE_REPS", 7).max(1);
     let topologies_override = std::env::var("MIDAS_PIPELINE_TOPOLOGIES")
@@ -414,6 +448,24 @@ fn main() {
             json_num(s.ci95_hi_s),
             json_num(throughput),
         ));
+    }
+
+    std::fs::remove_dir_all(svc_scratch_root()).ok();
+
+    // Service-dispatch overhead: same workload, in-process vs through the
+    // svc layer on a cache miss, A/B within this interleaved run.
+    let median_of = |name: &str| {
+        cells
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| stats(&samples[i]).median_s)
+    };
+    if let (Some(direct), Some(svc)) = (median_of("fig16_8ap"), median_of("fig16_8ap_svc")) {
+        let overhead_pct = 100.0 * (svc - direct) / direct;
+        println!(
+            "# service dispatch overhead at fig16_8ap scale: {svc:.3} s vs {direct:.3} s \
+             in-process ({overhead_pct:+.1} %)"
+        );
     }
 
     fig.note(

@@ -426,7 +426,7 @@ pub const FIG16_GAIN_BAND: (f64, f64) = (0.5, 1.5);
 
 /// The {CS threshold × capture margin × sensing σ} grid the Fig. 16
 /// calibration sweeps.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CalibrationGrid {
     /// Energy-detect CS thresholds to try (dBm).
     pub cs_thresholds_dbm: Vec<f64>,

@@ -24,10 +24,10 @@ const SOURCES: &[(&str, &str)] = &[
 const PINNED: &[&str] = &[
     "sim/mod.rs: use session::{PairedSamples, Session, SessionBuilder, SessionSeries, SessionTrial}",
     "sim/mod.rs: use source::{PairedRecipe, TopologySource}",
-    "sim/mod.rs: use spec::{ExperimentOutput, ExperimentSpec}",
+    "sim/mod.rs: use spec::{ExperimentOutput, ExperimentSpec, SpecParseError}",
     "sim/mod.rs: use midas_channel::FadingEngine",
     "sim/mod.rs: use midas_net::capture::{ContentionModel, PhysicalConfig}",
-    "sim/mod.rs: use midas_net::observer::{Accumulate, Observer, RoundRecord, RunningSummary}",
+    "sim/mod.rs: use midas_net::observer::{Accumulate, Observer, RoundRecord, RunningSummary, Tee}",
     "sim/mod.rs: use midas_net::simulator::{MacKind, ScanMode, StageTimings}",
     "sim/mod.rs: use midas_net::traffic::{FullBuffer, OnOff, Poisson, TrafficKind, TrafficModel}",
     "sim/session.rs: struct PairedSamples",
@@ -96,6 +96,7 @@ const PINNED: &[&str] = &[
     "sim/spec.rs: fn expect_tag_width",
     "sim/spec.rs: fn expect_das_radius",
     "sim/spec.rs: fn expect_antenna_wait",
+    "sim/spec.rs: struct SpecParseError",
 ];
 
 /// Extracts `kind name` for every `pub` declaration in a source file, in

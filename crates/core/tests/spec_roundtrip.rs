@@ -1,0 +1,203 @@
+//! Golden tests for the canonical textual form of [`ExperimentSpec`].
+//!
+//! The capacity-planning service content-addresses its result cache by a
+//! hash over the spec encoding, so the textual form must be *stable*: one
+//! spec, one string, on every platform and in every future PR.  These
+//! goldens pin the exact `Display` output for every variant, and the
+//! round-trip tests pin that `FromStr` inverts it.
+
+use midas::experiment::CalibrationGrid;
+use midas::sim::{ContentionModel, ExperimentSpec, PhysicalConfig};
+use midas_channel::EnvironmentKind;
+use midas_net::scale::Scenario;
+
+/// Every variant at a representative scale, with its pinned canonical form.
+fn golden_specs() -> Vec<(ExperimentSpec, &'static str)> {
+    vec![
+        (
+            ExperimentSpec::fig03(),
+            "fig03_naive_scaling_drop{topologies=60}",
+        ),
+        (ExperimentSpec::fig07(), "fig07_link_snr{topologies=60}"),
+        (
+            ExperimentSpec::fig08_09(EnvironmentKind::OfficeA, 4),
+            "fig08_09_capacity{environment=office_a,antennas=4,topologies=60}",
+        ),
+        (
+            ExperimentSpec::fig08_09(EnvironmentKind::OfficeB, 8),
+            "fig08_09_capacity{environment=office_b,antennas=8,topologies=60}",
+        ),
+        (
+            ExperimentSpec::fig10(),
+            "fig10_smart_precoding{topologies=60}",
+        ),
+        (
+            ExperimentSpec::fig11(true),
+            "fig11_optimal_comparison{topologies=20,stale_csi=true}",
+        ),
+        (
+            ExperimentSpec::fig12(),
+            "fig12_simultaneous_tx{topologies=30}",
+        ),
+        (ExperimentSpec::fig13(), "fig13_deadzone{deployments=10}"),
+        (
+            ExperimentSpec::sec534(),
+            "sec534_hidden_terminals{deployments=10}",
+        ),
+        (
+            ExperimentSpec::fig14(),
+            "fig14_packet_tagging{topologies=60}",
+        ),
+        (
+            ExperimentSpec::fig15(),
+            "fig15_three_ap_end_to_end{topologies=30,rounds=15,contention=graph}",
+        ),
+        (
+            ExperimentSpec::fig16(ContentionModel::Graph),
+            "fig16_eight_ap_simulation{topologies=15,rounds=10,contention=graph}",
+        ),
+        (
+            ExperimentSpec::fig16(ContentionModel::physical_calibrated()),
+            "fig16_eight_ap_simulation{topologies=15,rounds=10,contention=physical(\
+             cs_threshold_dbm=-86.0,capture_margin_db=10.0,sensing_sigma_db=3.0)}",
+        ),
+        (
+            ExperimentSpec::EndToEnd {
+                eight_aps: true,
+                topologies: 2,
+                rounds: 3,
+                contention: ContentionModel::Physical(PhysicalConfig {
+                    cs_threshold_dbm: -82.0,
+                    capture_margin_db: 6.0,
+                    sensing_sigma_db: None,
+                }),
+            },
+            "fig16_eight_ap_simulation{topologies=2,rounds=3,contention=physical(\
+             cs_threshold_dbm=-82.0,capture_margin_db=6.0,sensing_sigma_db=none)}",
+        ),
+        (
+            ExperimentSpec::Fig16Calibration {
+                grid: CalibrationGrid::default(),
+                topologies: 2,
+                rounds: 5,
+            },
+            "fig16_calibration{cs_thresholds_dbm=[-88.0,-86.0,-84.0],\
+             capture_margins_db=[6.0,8.0,10.0],sensing_sigmas_db=[3.0,4.5],\
+             topologies=2,rounds=5}",
+        ),
+        (
+            ExperimentSpec::EnterpriseScaling {
+                scenario: Scenario::enterprise_office(64),
+                topologies: 3,
+                rounds: 10,
+            },
+            "enterprise_scaling{scenario=enterprise_office,aps=64,topologies=3,rounds=10}",
+        ),
+        (
+            ExperimentSpec::EnterpriseScaling {
+                scenario: Scenario::auditorium(16),
+                topologies: 2,
+                rounds: 5,
+            },
+            "enterprise_scaling{scenario=auditorium,aps=16,topologies=2,rounds=5}",
+        ),
+        (
+            ExperimentSpec::TagWidth {
+                widths: vec![1, 2, 4],
+                topologies: 60,
+            },
+            "ablation_tag_width{widths=[1,2,4],topologies=60}",
+        ),
+        (
+            ExperimentSpec::DasRadius {
+                fractions: vec![(0.25, 0.5), (0.5, 0.75)],
+                topologies: 60,
+            },
+            "ablation_das_radius{fractions=[(0.25,0.5),(0.5,0.75)],topologies=60}",
+        ),
+        (
+            ExperimentSpec::AntennaWait {
+                windows_us: vec![0, 10, 20],
+                trials: 100,
+            },
+            "ablation_antenna_wait{windows_us=[0,10,20],trials=100}",
+        ),
+    ]
+}
+
+#[test]
+fn display_matches_the_pinned_goldens() {
+    for (spec, golden) in golden_specs() {
+        assert_eq!(spec.to_string(), *golden, "golden drifted for {spec:?}");
+    }
+}
+
+#[test]
+fn from_str_inverts_display_for_every_variant() {
+    for (spec, golden) in golden_specs() {
+        let parsed: ExperimentSpec = golden.parse().unwrap_or_else(|e| {
+            panic!("canonical form failed to parse: {golden}\n  {e}");
+        });
+        assert_eq!(parsed, spec, "round-trip changed the spec for {golden}");
+        // And the re-encoding is a fixed point.
+        assert_eq!(parsed.to_string(), *golden);
+    }
+}
+
+#[test]
+fn display_is_stable_across_clones_and_repeated_calls() {
+    let spec = ExperimentSpec::fig16(ContentionModel::physical_calibrated());
+    assert_eq!(spec.to_string(), spec.clone().to_string());
+    assert_eq!(spec.to_string(), spec.to_string());
+}
+
+#[test]
+fn parse_errors_carry_offsets_and_messages() {
+    let err = "no_such_experiment{topologies=1}"
+        .parse::<ExperimentSpec>()
+        .unwrap_err();
+    assert!(
+        err.message.contains("unknown experiment"),
+        "message: {}",
+        err.message
+    );
+
+    let err = "fig03_naive_scaling_drop{topologies=banana}"
+        .parse::<ExperimentSpec>()
+        .unwrap_err();
+    assert!(err.offset > 0, "offset should point into the input");
+    assert!(
+        err.message.contains("expected an integer"),
+        "message: {}",
+        err.message
+    );
+
+    let err = "enterprise_scaling{scenario=warehouse,aps=8,topologies=1,rounds=1}"
+        .parse::<ExperimentSpec>()
+        .unwrap_err();
+    assert!(
+        err.message.contains("unknown scenario"),
+        "message: {}",
+        err.message
+    );
+
+    // Trailing garbage after a well-formed spec is rejected.
+    let err = "fig07_link_snr{topologies=60}xx"
+        .parse::<ExperimentSpec>()
+        .unwrap_err();
+    assert!(err.message.contains("trailing input"), "{}", err.message);
+}
+
+#[test]
+fn custom_scenarios_render_as_custom_and_do_not_parse() {
+    let mut scenario = Scenario::enterprise_office(8);
+    scenario.grid.clients_per_ap = 3; // no longer the library recipe
+    let spec = ExperimentSpec::EnterpriseScaling {
+        scenario,
+        topologies: 1,
+        rounds: 1,
+    };
+    let text = spec.to_string();
+    assert!(text.contains("scenario=custom"), "{text}");
+    assert!(text.parse::<ExperimentSpec>().is_err());
+}

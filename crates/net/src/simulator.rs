@@ -280,6 +280,21 @@ impl StageTimings {
             + self.evaluate_s
             + self.settle_s
     }
+
+    /// The stages as `(name, seconds)` pairs in pipeline order — the single
+    /// place the stage names are spelled, so telemetry encoders (the
+    /// capacity-planning service's JSONL stream, the pipeline bench's
+    /// profile printout) cannot drift from the struct.
+    pub fn stages(&self) -> [(&'static str, f64); 6] {
+        [
+            ("evolve", self.evolve_s),
+            ("sense", self.sense_s),
+            ("select", self.select_s),
+            ("precode", self.precode_s),
+            ("evaluate", self.evaluate_s),
+            ("settle", self.settle_s),
+        ]
+    }
 }
 
 /// `Some(now)` when stage profiling is on — the pipeline's "maybe read the
@@ -1362,6 +1377,28 @@ mod tests {
         let mut rng = SimRng::new(seed);
         let cfg = crate::deployment::paper_das_config(&Environment::office_a(), 4, 4);
         PairedTopology::three_ap(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn stage_timings_stages_cover_every_field_in_pipeline_order() {
+        let timings = StageTimings {
+            evolve_s: 1.0,
+            sense_s: 2.0,
+            select_s: 3.0,
+            precode_s: 4.0,
+            evaluate_s: 5.0,
+            settle_s: 6.0,
+            rounds: 7,
+        };
+        let stages = timings.stages();
+        assert_eq!(
+            stages.map(|(name, _)| name),
+            ["evolve", "sense", "select", "precode", "evaluate", "settle"]
+        );
+        // Summing the pairs reproduces total_s: no field is missing or
+        // double-counted.
+        let sum: f64 = stages.iter().map(|(_, s)| s).sum();
+        assert_eq!(sum, timings.total_s());
     }
 
     #[test]

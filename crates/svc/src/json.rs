@@ -1,0 +1,627 @@
+//! A hand-rolled, dependency-free JSON layer.
+//!
+//! The container has no crates.io access, so the service carries its own
+//! parser and writers.  The subset is full JSON with two deliberate
+//! choices:
+//!
+//! * Integer tokens that fit a `u64` parse to [`Json::UInt`] rather than
+//!   `f64`, so 64-bit seeds round-trip exactly.
+//! * Three writers: [`Json::write_compact`] (insertion order, the
+//!   `result.json` form whose bytes the cache pins), [`Json::write_canonical`]
+//!   (keys sorted recursively, no whitespace — the content-address input)
+//!   and [`Json::write_pretty`] (2-space indent, for the human-edited spec
+//!   files).
+//!
+//! Floats are written with Rust's `{:?}` formatting — the shortest string
+//! that round-trips the exact bits — which is what makes written output a
+//! stable function of the value.  Non-finite floats have no JSON form and
+//! are written as `null`.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer token (no sign, fraction or exponent) — kept
+    /// exact so seeds and counters survive the round-trip.
+    UInt(u64),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, members in insertion order (writers decide ordering).
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse failure, locating the offending byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// 1-based line of the offending byte.
+    pub line: usize,
+    /// 1-based column of the offending byte.
+    pub column: usize,
+    /// What the parser expected or rejected.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Maximum nesting depth the parser accepts — spec files are a handful of
+/// levels deep; this bounds stack use on hostile input.
+const MAX_DEPTH: usize = 128;
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// The human name of this value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "a boolean",
+            Json::UInt(_) | Json::Num(_) => "a number",
+            Json::Str(_) => "a string",
+            Json::Arr(_) => "an array",
+            Json::Obj(_) => "an object",
+        }
+    }
+
+    /// The members of an object, in insertion order.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object member by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj()?
+            .iter()
+            .find_map(|(k, v)| (k == key).then_some(v))
+    }
+
+    /// The elements of an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact unsigned integer ([`Json::UInt`] only — a
+    /// float does not silently truncate).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(n) => Some(*n as f64),
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Compact writer: no whitespace, object members in insertion order.
+    pub fn write_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, false);
+        out
+    }
+
+    /// Canonical writer: no whitespace, object keys sorted (bytewise)
+    /// recursively — one value, one string, which is what the content
+    /// address hashes.
+    pub fn write_canonical(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, true);
+        out
+    }
+
+    /// Pretty writer: 2-space indent, insertion order — the on-disk form
+    /// of spec files.
+    pub fn write_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_indented(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, canonical: bool) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::UInt(n) => {
+                out.push_str(&n.to_string());
+            }
+            Json::Num(x) => write_f64(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out, canonical);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                let mut order: Vec<usize> = (0..members.len()).collect();
+                if canonical {
+                    order.sort_by(|&a, &b| members[a].0.cmp(&members[b].0));
+                }
+                for (i, &m) in order.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, &members[m].0);
+                    out.push(':');
+                    members[m].1.write(out, canonical);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_indented(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    indent(out, depth + 1);
+                    item.write_indented(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(members) if !members.is_empty() => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_indented(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out, false),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// `{:?}` float formatting (shortest exact round-trip); non-finite values
+/// have no JSON representation and become `null`.
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        out.push_str(&format!("{x:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        let (mut line, mut column) = (1, 1);
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
+        JsonError {
+            offset: self.pos,
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => {
+                Err(self.err(format!("expected a JSON value, found '{}'", other as char)))
+            }
+            None => Err(self.err("expected a JSON value, found end of input")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{text}'")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let start = self.pos;
+            let key = self.string().map_err(|mut e| {
+                e.message = format!("expected an object key: {}", e.message);
+                e
+            })?;
+            if members.iter().any(|(k, _)| *k == key) {
+                self.pos = start;
+                return Err(self.err(format!("duplicate object key {key:?}")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let first = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&first) {
+                                // High surrogate: a \uXXXX low surrogate
+                                // must follow.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("unpaired surrogate escape"));
+                                }
+                                self.pos += 2;
+                                let second = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let cp = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                                char::from_u32(cp)
+                            } else {
+                                char::from_u32(first)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                            // hex4 advanced past the digits already.
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let len = match rest[0] {
+                        b if b < 0x80 => 1,
+                        b if b >= 0xF0 => 4,
+                        b if b >= 0xE0 => 3,
+                        _ => 2,
+                    };
+                    out.push_str(std::str::from_utf8(&rest[..len]).expect("valid utf-8"));
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let digits = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated unicode escape"))?;
+        let text = std::str::from_utf8(digits).map_err(|_| self.err("invalid unicode escape"))?;
+        let value =
+            u32::from_str_radix(text, 16).map_err(|_| self.err("invalid unicode escape"))?;
+        self.pos += 4;
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let integral = self.pos;
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if self.pos == integral && !text.starts_with('-') {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::UInt(n));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Json::Num(x)),
+            _ => {
+                self.pos = start;
+                Err(self.err(format!("invalid number {text:?}")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let doc = r#" { "a": [1, -2.5, 1e3], "b": {"nested": true}, "c": null,
+                       "d": "es\"c\\a\npeA" } "#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[0], Json::UInt(1));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1], Json::Num(-2.5));
+        assert_eq!(
+            v.get("b").unwrap().get("nested").unwrap().as_bool(),
+            Some(true)
+        );
+        assert_eq!(v.get("c"), Some(&Json::Null));
+        assert_eq!(v.get("d").unwrap().as_str(), Some("es\"c\\a\npeA"));
+    }
+
+    #[test]
+    fn integers_stay_exact() {
+        let seed = u64::MAX;
+        let v = Json::parse(&seed.to_string()).unwrap();
+        assert_eq!(v.as_u64(), Some(seed));
+        assert_eq!(v.write_compact(), seed.to_string());
+        // Fractions and signs fall back to f64.
+        assert_eq!(Json::parse("-3").unwrap(), Json::Num(-3.0));
+        assert_eq!(Json::parse("3.0").unwrap(), Json::Num(3.0));
+    }
+
+    #[test]
+    fn round_trips_compact_output() {
+        let doc = r#"{"z":1,"a":[true,null,"x"],"m":{"k":-86.0}}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.write_compact(), doc);
+        assert_eq!(Json::parse(&v.write_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn canonical_sorts_keys_recursively() {
+        let v = Json::parse(r#"{"z":{"b":1,"a":2},"a":0}"#).unwrap();
+        assert_eq!(v.write_canonical(), r#"{"a":0,"z":{"a":2,"b":1}}"#);
+        // Insertion order untouched in the compact form.
+        assert_eq!(v.write_compact(), r#"{"z":{"b":1,"a":2},"a":0}"#);
+    }
+
+    #[test]
+    fn errors_locate_the_offending_byte() {
+        let err = Json::parse("{\"a\": 1,\n  \"b\": }").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("expected a JSON value"), "{err}");
+
+        let err = Json::parse(r#"{"a": 1} trailing"#).unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+
+        let err = Json::parse(r#"{"a": 1, "a": 2}"#).unwrap_err();
+        assert!(err.message.contains("duplicate object key"), "{err}");
+
+        let err = Json::parse("[1, 2").unwrap_err();
+        assert!(err.message.contains("',' or ']'"), "{err}");
+    }
+
+    #[test]
+    fn floats_write_shortest_round_trip_form() {
+        let mut out = String::new();
+        write_f64(&mut out, -86.0);
+        assert_eq!(out, "-86.0");
+        let mut out = String::new();
+        write_f64(&mut out, 0.1);
+        assert_eq!(out, "0.1");
+        let mut out = String::new();
+        write_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = Json::parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting too deep"), "{err}");
+    }
+}

@@ -1,0 +1,1113 @@
+//! The on-disk experiment spec: a JSON encoding of [`ExperimentSpec`] plus
+//! the [`SessionBuilder`](midas::sim::SessionBuilder) knobs a capacity-
+//! planning job may turn (fading engine, traffic workload, coherence
+//! interval, worker threads, deadline).
+//!
+//! Decoding is strict: unknown keys, wrong types and out-of-range knobs are
+//! errors, each carrying the `$.dotted.path` of the offending field.  The
+//! encoding is total — [`JobSpec::to_json`] writes every field explicitly —
+//! so a written spec re-reads to the identical value.
+//!
+//! The content address ([`JobSpec::cache_key`]) hashes only the fields that
+//! affect the result bytes: experiment, seed, engine, traffic and coherence
+//! interval.  Scheduling knobs (threads, deadline, stage profiling) are
+//! excluded — the same experiment at a different worker count is the same
+//! cached result, which the determinism tests guarantee.
+
+use std::fmt;
+
+use crate::hash::sha256_hex;
+use crate::json::{Json, JsonError};
+use midas::experiment::CalibrationGrid;
+use midas::sim::{ContentionModel, ExperimentSpec, FadingEngine, PhysicalConfig, TrafficKind};
+use midas_channel::EnvironmentKind;
+use midas_net::scale::Scenario;
+
+/// A decode failure, locating the offending field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeError {
+    /// Dotted path of the field (`$.experiment.contention.model`).
+    pub path: String,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl DecodeError {
+    fn new(path: &str, message: impl Into<String>) -> Self {
+        DecodeError {
+            path: path.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at {}: {}", self.path, self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Any failure turning spec text into a [`JobSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The text was not JSON.
+    Json(JsonError),
+    /// The JSON did not describe a valid job.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Json(e) => write!(f, "invalid JSON: {e}"),
+            SpecError::Decode(e) => write!(f, "invalid spec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<JsonError> for SpecError {
+    fn from(e: JsonError) -> Self {
+        SpecError::Json(e)
+    }
+}
+
+impl From<DecodeError> for SpecError {
+    fn from(e: DecodeError) -> Self {
+        SpecError::Decode(e)
+    }
+}
+
+/// One capacity-planning job: an experiment plus the session knobs to run
+/// it under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// The experiment to run.
+    pub experiment: ExperimentSpec,
+    /// The sweep seed (required in every spec file — reproducibility is
+    /// explicit, never ambient).
+    pub seed: u64,
+    /// Small-scale fading engine (session-driven experiments only).
+    pub engine: FadingEngine,
+    /// Downlink traffic workload (session-driven experiments only).
+    pub traffic: TrafficKind,
+    /// Channel coherence interval override, in TXOP rounds.
+    pub coherence_interval_rounds: Option<usize>,
+    /// Sweep worker override (results are bit-identical at any setting).
+    pub threads: Option<usize>,
+    /// Per-job wall-clock deadline; an exceeded deadline cancels the job
+    /// cooperatively and records `timeout`.
+    pub deadline_ms: Option<u64>,
+    /// Stream per-stage wall-clock into the round log.
+    pub stage_profiling: bool,
+}
+
+impl JobSpec {
+    /// A spec with the library-default knobs.
+    pub fn new(experiment: ExperimentSpec, seed: u64) -> Self {
+        JobSpec {
+            experiment,
+            seed,
+            engine: FadingEngine::Legacy,
+            traffic: TrafficKind::FullBuffer,
+            coherence_interval_rounds: None,
+            threads: None,
+            deadline_ms: None,
+            stage_profiling: false,
+        }
+    }
+
+    /// Whether the experiment runs through the session machinery (and so
+    /// accepts engine/traffic/coherence knobs and streams a round log).
+    pub fn is_session_driven(&self) -> bool {
+        matches!(
+            self.experiment,
+            ExperimentSpec::EndToEnd { .. } | ExperimentSpec::EnterpriseScaling { .. }
+        )
+    }
+
+    /// Parses and validates spec text.
+    pub fn from_json_str(text: &str) -> Result<JobSpec, SpecError> {
+        let json = Json::parse(text)?;
+        let spec = JobSpec::from_json(&json)?;
+        spec.validate().map_err(SpecError::Decode)?;
+        Ok(spec)
+    }
+
+    /// Decodes a parsed JSON document (structure only; see
+    /// [`JobSpec::validate`] for the cross-field rules).
+    pub fn from_json(json: &Json) -> Result<JobSpec, DecodeError> {
+        let path = "$";
+        check_keys(
+            json,
+            path,
+            &[
+                "experiment",
+                "seed",
+                "engine",
+                "traffic",
+                "coherence_interval_rounds",
+                "threads",
+                "deadline_ms",
+                "stage_profiling",
+            ],
+        )?;
+        let experiment = experiment_from_json(field(json, path, "experiment")?, "$.experiment")?;
+        let seed = take_u64(field(json, path, "seed")?, "$.seed")?;
+        let engine = match opt_field(json, "engine") {
+            None => FadingEngine::Legacy,
+            Some(v) => engine_from_json(v, "$.engine")?,
+        };
+        let traffic = match opt_field(json, "traffic") {
+            None => TrafficKind::FullBuffer,
+            Some(v) => traffic_from_json(v, "$.traffic")?,
+        };
+        let coherence_interval_rounds = match opt_field(json, "coherence_interval_rounds") {
+            None => None,
+            Some(v) => Some(take_usize(v, "$.coherence_interval_rounds")?),
+        };
+        let threads = match opt_field(json, "threads") {
+            None => None,
+            Some(v) => Some(take_usize(v, "$.threads")?),
+        };
+        let deadline_ms = match opt_field(json, "deadline_ms") {
+            None => None,
+            Some(v) => Some(take_u64(v, "$.deadline_ms")?),
+        };
+        let stage_profiling = match opt_field(json, "stage_profiling") {
+            None => false,
+            Some(v) => take_bool(v, "$.stage_profiling")?,
+        };
+        Ok(JobSpec {
+            experiment,
+            seed,
+            engine,
+            traffic,
+            coherence_interval_rounds,
+            threads,
+            deadline_ms,
+            stage_profiling,
+        })
+    }
+
+    /// Cross-field rules: session knobs only apply to session-driven
+    /// experiments, and numeric knobs must be in range.
+    pub fn validate(&self) -> Result<(), DecodeError> {
+        if !self.is_session_driven() {
+            if self.engine != FadingEngine::Legacy {
+                return Err(DecodeError::new(
+                    "$.engine",
+                    format!(
+                        "the fading engine only applies to session-driven experiments \
+                         (end-to-end, enterprise scaling); {} runs its own fixed recipe",
+                        self.experiment.name()
+                    ),
+                ));
+            }
+            if self.traffic != TrafficKind::FullBuffer {
+                return Err(DecodeError::new(
+                    "$.traffic",
+                    format!(
+                        "traffic workloads only apply to session-driven experiments; \
+                         {} runs its own fixed recipe",
+                        self.experiment.name()
+                    ),
+                ));
+            }
+            if self.coherence_interval_rounds.is_some() {
+                return Err(DecodeError::new(
+                    "$.coherence_interval_rounds",
+                    format!(
+                        "the coherence interval only applies to session-driven \
+                         experiments; {} runs its own fixed recipe",
+                        self.experiment.name()
+                    ),
+                ));
+            }
+        }
+        if self.coherence_interval_rounds == Some(0) {
+            return Err(DecodeError::new(
+                "$.coherence_interval_rounds",
+                "must be at least 1",
+            ));
+        }
+        if self.threads == Some(0) {
+            return Err(DecodeError::new("$.threads", "must be at least 1"));
+        }
+        if let TrafficKind::OnOff {
+            duty,
+            mean_burst_rounds,
+        } = self.traffic
+        {
+            if !(0.0..=1.0).contains(&duty) {
+                return Err(DecodeError::new("$.traffic.duty", "must be in [0, 1]"));
+            }
+            if mean_burst_rounds.is_nan() || mean_burst_rounds <= 0.0 {
+                return Err(DecodeError::new(
+                    "$.traffic.mean_burst_rounds",
+                    "must be positive",
+                ));
+            }
+        }
+        if let TrafficKind::Poisson {
+            mean_arrivals_per_round,
+        } = self.traffic
+        {
+            if mean_arrivals_per_round.is_nan() || mean_arrivals_per_round < 0.0 {
+                return Err(DecodeError::new(
+                    "$.traffic.mean_arrivals_per_round",
+                    "must be non-negative",
+                ));
+            }
+        }
+        if let ExperimentSpec::EnterpriseScaling { scenario, .. } = &self.experiment {
+            if Scenario::by_name(scenario.name(), scenario.num_aps()).as_ref() != Some(scenario) {
+                return Err(DecodeError::new(
+                    "$.experiment.scenario",
+                    "not a library scenario",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The full JSON encoding: every field explicit, so written specs
+    /// re-read identically and the pretty form documents all the knobs.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("experiment".into(), experiment_to_json(&self.experiment)),
+            ("seed".into(), Json::UInt(self.seed)),
+            ("engine".into(), engine_to_json(self.engine)),
+            ("traffic".into(), traffic_to_json(self.traffic)),
+            (
+                "coherence_interval_rounds".into(),
+                opt_uint(self.coherence_interval_rounds.map(|n| n as u64)),
+            ),
+            ("threads".into(), opt_uint(self.threads.map(|n| n as u64))),
+            ("deadline_ms".into(), opt_uint(self.deadline_ms)),
+            ("stage_profiling".into(), Json::Bool(self.stage_profiling)),
+        ])
+    }
+
+    /// The canonical content-address material: the result-affecting fields
+    /// only, canonically written (sorted keys, no whitespace).  One logical
+    /// job, one string — scheduling knobs do not fork the cache.
+    pub fn cache_key_material(&self) -> String {
+        Json::Obj(vec![
+            ("experiment".into(), experiment_to_json(&self.experiment)),
+            ("seed".into(), Json::UInt(self.seed)),
+            ("engine".into(), engine_to_json(self.engine)),
+            ("traffic".into(), traffic_to_json(self.traffic)),
+            (
+                "coherence_interval_rounds".into(),
+                opt_uint(self.coherence_interval_rounds.map(|n| n as u64)),
+            ),
+        ])
+        .write_canonical()
+    }
+
+    /// The job id: the first 16 hex chars (64 bits) of the SHA-256 of
+    /// [`JobSpec::cache_key_material`].
+    pub fn cache_key(&self) -> String {
+        sha256_hex(self.cache_key_material().as_bytes())[..16].to_string()
+    }
+}
+
+fn opt_uint(v: Option<u64>) -> Json {
+    match v {
+        Some(n) => Json::UInt(n),
+        None => Json::Null,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Field helpers
+
+fn check_keys(obj: &Json, path: &str, allowed: &[&str]) -> Result<(), DecodeError> {
+    let members = obj.as_obj().ok_or_else(|| {
+        DecodeError::new(
+            path,
+            format!("expected an object, found {}", obj.type_name()),
+        )
+    })?;
+    for (key, _) in members {
+        if !allowed.contains(&key.as_str()) {
+            return Err(DecodeError::new(
+                path,
+                format!("unknown key {key:?} (allowed: {})", allowed.join(", ")),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn field<'a>(obj: &'a Json, path: &str, key: &str) -> Result<&'a Json, DecodeError> {
+    obj.get(key)
+        .ok_or_else(|| DecodeError::new(path, format!("missing required key {key:?}")))
+}
+
+/// A present, non-null member.
+fn opt_field<'a>(obj: &'a Json, key: &str) -> Option<&'a Json> {
+    match obj.get(key) {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(v),
+    }
+}
+
+fn take_u64(v: &Json, path: &str) -> Result<u64, DecodeError> {
+    v.as_u64().ok_or_else(|| {
+        DecodeError::new(
+            path,
+            format!("expected an unsigned integer, found {}", v.type_name()),
+        )
+    })
+}
+
+fn take_usize(v: &Json, path: &str) -> Result<usize, DecodeError> {
+    usize::try_from(take_u64(v, path)?).map_err(|_| DecodeError::new(path, "integer out of range"))
+}
+
+fn take_f64(v: &Json, path: &str) -> Result<f64, DecodeError> {
+    v.as_f64().ok_or_else(|| {
+        DecodeError::new(path, format!("expected a number, found {}", v.type_name()))
+    })
+}
+
+fn take_bool(v: &Json, path: &str) -> Result<bool, DecodeError> {
+    v.as_bool().ok_or_else(|| {
+        DecodeError::new(path, format!("expected a boolean, found {}", v.type_name()))
+    })
+}
+
+fn take_str<'a>(v: &'a Json, path: &str) -> Result<&'a str, DecodeError> {
+    v.as_str().ok_or_else(|| {
+        DecodeError::new(path, format!("expected a string, found {}", v.type_name()))
+    })
+}
+
+fn f64_list(v: &Json, path: &str) -> Result<Vec<f64>, DecodeError> {
+    let items = v.as_arr().ok_or_else(|| {
+        DecodeError::new(path, format!("expected an array, found {}", v.type_name()))
+    })?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| take_f64(item, &format!("{path}[{i}]")))
+        .collect()
+}
+
+fn usize_list(v: &Json, path: &str) -> Result<Vec<usize>, DecodeError> {
+    let items = v.as_arr().ok_or_else(|| {
+        DecodeError::new(path, format!("expected an array, found {}", v.type_name()))
+    })?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| take_usize(item, &format!("{path}[{i}]")))
+        .collect()
+}
+
+fn u64_list(v: &Json, path: &str) -> Result<Vec<u64>, DecodeError> {
+    let items = v.as_arr().ok_or_else(|| {
+        DecodeError::new(path, format!("expected an array, found {}", v.type_name()))
+    })?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| take_u64(item, &format!("{path}[{i}]")))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Leaf codecs
+
+fn engine_to_json(engine: FadingEngine) -> Json {
+    Json::Str(
+        match engine {
+            FadingEngine::Legacy => "legacy",
+            FadingEngine::Counter => "counter",
+        }
+        .into(),
+    )
+}
+
+fn engine_from_json(v: &Json, path: &str) -> Result<FadingEngine, DecodeError> {
+    match take_str(v, path)? {
+        "legacy" => Ok(FadingEngine::Legacy),
+        "counter" => Ok(FadingEngine::Counter),
+        other => Err(DecodeError::new(
+            path,
+            format!("unknown fading engine {other:?} (expected \"legacy\" or \"counter\")"),
+        )),
+    }
+}
+
+fn traffic_to_json(traffic: TrafficKind) -> Json {
+    match traffic {
+        TrafficKind::FullBuffer => {
+            Json::Obj(vec![("model".into(), Json::Str("full_buffer".into()))])
+        }
+        TrafficKind::OnOff {
+            duty,
+            mean_burst_rounds,
+        } => Json::Obj(vec![
+            ("model".into(), Json::Str("on_off".into())),
+            ("duty".into(), Json::Num(duty)),
+            ("mean_burst_rounds".into(), Json::Num(mean_burst_rounds)),
+        ]),
+        TrafficKind::Poisson {
+            mean_arrivals_per_round,
+        } => Json::Obj(vec![
+            ("model".into(), Json::Str("poisson".into())),
+            (
+                "mean_arrivals_per_round".into(),
+                Json::Num(mean_arrivals_per_round),
+            ),
+        ]),
+    }
+}
+
+fn traffic_from_json(v: &Json, path: &str) -> Result<TrafficKind, DecodeError> {
+    let model_path = format!("{path}.model");
+    match take_str(field(v, path, "model")?, &model_path)? {
+        "full_buffer" => {
+            check_keys(v, path, &["model"])?;
+            Ok(TrafficKind::FullBuffer)
+        }
+        "on_off" => {
+            check_keys(v, path, &["model", "duty", "mean_burst_rounds"])?;
+            Ok(TrafficKind::OnOff {
+                duty: take_f64(field(v, path, "duty")?, &format!("{path}.duty"))?,
+                mean_burst_rounds: take_f64(
+                    field(v, path, "mean_burst_rounds")?,
+                    &format!("{path}.mean_burst_rounds"),
+                )?,
+            })
+        }
+        "poisson" => {
+            check_keys(v, path, &["model", "mean_arrivals_per_round"])?;
+            Ok(TrafficKind::Poisson {
+                mean_arrivals_per_round: take_f64(
+                    field(v, path, "mean_arrivals_per_round")?,
+                    &format!("{path}.mean_arrivals_per_round"),
+                )?,
+            })
+        }
+        other => Err(DecodeError::new(
+            &model_path,
+            format!(
+                "unknown traffic model {other:?} (expected \"full_buffer\", \"on_off\" or \
+                 \"poisson\")"
+            ),
+        )),
+    }
+}
+
+fn environment_to_json(kind: EnvironmentKind) -> Json {
+    Json::Str(
+        match kind {
+            EnvironmentKind::OfficeA => "office_a",
+            EnvironmentKind::OfficeB => "office_b",
+            EnvironmentKind::OpenPlan => "open_plan",
+        }
+        .into(),
+    )
+}
+
+fn environment_from_json(v: &Json, path: &str) -> Result<EnvironmentKind, DecodeError> {
+    match take_str(v, path)? {
+        "office_a" => Ok(EnvironmentKind::OfficeA),
+        "office_b" => Ok(EnvironmentKind::OfficeB),
+        "open_plan" => Ok(EnvironmentKind::OpenPlan),
+        other => Err(DecodeError::new(
+            path,
+            format!(
+                "unknown environment {other:?} (expected \"office_a\", \"office_b\" or \
+                 \"open_plan\")"
+            ),
+        )),
+    }
+}
+
+fn contention_to_json(model: ContentionModel) -> Json {
+    match model {
+        ContentionModel::Graph => Json::Obj(vec![("model".into(), Json::Str("graph".into()))]),
+        ContentionModel::Physical(config) => Json::Obj(vec![
+            ("model".into(), Json::Str("physical".into())),
+            (
+                "cs_threshold_dbm".into(),
+                Json::Num(config.cs_threshold_dbm),
+            ),
+            (
+                "capture_margin_db".into(),
+                Json::Num(config.capture_margin_db),
+            ),
+            (
+                "sensing_sigma_db".into(),
+                match config.sensing_sigma_db {
+                    Some(sigma) => Json::Num(sigma),
+                    None => Json::Null,
+                },
+            ),
+        ]),
+    }
+}
+
+fn contention_from_json(v: &Json, path: &str) -> Result<ContentionModel, DecodeError> {
+    let model_path = format!("{path}.model");
+    match take_str(field(v, path, "model")?, &model_path)? {
+        "graph" => {
+            check_keys(v, path, &["model"])?;
+            Ok(ContentionModel::Graph)
+        }
+        "physical" => {
+            check_keys(
+                v,
+                path,
+                &[
+                    "model",
+                    "cs_threshold_dbm",
+                    "capture_margin_db",
+                    "sensing_sigma_db",
+                ],
+            )?;
+            Ok(ContentionModel::Physical(PhysicalConfig {
+                cs_threshold_dbm: take_f64(
+                    field(v, path, "cs_threshold_dbm")?,
+                    &format!("{path}.cs_threshold_dbm"),
+                )?,
+                capture_margin_db: take_f64(
+                    field(v, path, "capture_margin_db")?,
+                    &format!("{path}.capture_margin_db"),
+                )?,
+                sensing_sigma_db: match opt_field(v, "sensing_sigma_db") {
+                    None => None,
+                    Some(sigma) => Some(take_f64(sigma, &format!("{path}.sensing_sigma_db"))?),
+                },
+            }))
+        }
+        other => Err(DecodeError::new(
+            &model_path,
+            format!("unknown contention model {other:?} (expected \"graph\" or \"physical\")"),
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Experiment codec
+
+/// Encodes an experiment as `{"kind": <figure slug>, ...fields}` — the slug
+/// is [`ExperimentSpec::name`], the fields mirror the variant.
+pub fn experiment_to_json(spec: &ExperimentSpec) -> Json {
+    let mut members = vec![("kind".to_string(), Json::Str(spec.name().into()))];
+    let mut push = |key: &str, value: Json| members.push((key.to_string(), value));
+    match spec {
+        ExperimentSpec::NaiveScalingDrop { topologies }
+        | ExperimentSpec::LinkSnr { topologies }
+        | ExperimentSpec::SmartPrecoding { topologies }
+        | ExperimentSpec::SimultaneousTx { topologies }
+        | ExperimentSpec::PacketTagging { topologies } => {
+            push("topologies", Json::UInt(*topologies as u64));
+        }
+        ExperimentSpec::MuMimoCapacity {
+            environment,
+            antennas,
+            topologies,
+        } => {
+            push("environment", environment_to_json(*environment));
+            push("antennas", Json::UInt(*antennas as u64));
+            push("topologies", Json::UInt(*topologies as u64));
+        }
+        ExperimentSpec::OptimalComparison {
+            topologies,
+            stale_csi,
+        } => {
+            push("topologies", Json::UInt(*topologies as u64));
+            push("stale_csi", Json::Bool(*stale_csi));
+        }
+        ExperimentSpec::Deadzones { deployments }
+        | ExperimentSpec::HiddenTerminals { deployments } => {
+            push("deployments", Json::UInt(*deployments as u64));
+        }
+        ExperimentSpec::EndToEnd {
+            // The slug already distinguishes the layouts (fig15 vs fig16).
+            eight_aps: _,
+            topologies,
+            rounds,
+            contention,
+        } => {
+            push("topologies", Json::UInt(*topologies as u64));
+            push("rounds", Json::UInt(*rounds as u64));
+            push("contention", contention_to_json(*contention));
+        }
+        ExperimentSpec::Fig16Calibration {
+            grid,
+            topologies,
+            rounds,
+        } => {
+            push(
+                "cs_thresholds_dbm",
+                Json::Arr(
+                    grid.cs_thresholds_dbm
+                        .iter()
+                        .map(|&x| Json::Num(x))
+                        .collect(),
+                ),
+            );
+            push(
+                "capture_margins_db",
+                Json::Arr(
+                    grid.capture_margins_db
+                        .iter()
+                        .map(|&x| Json::Num(x))
+                        .collect(),
+                ),
+            );
+            push(
+                "sensing_sigmas_db",
+                Json::Arr(
+                    grid.sensing_sigmas_db
+                        .iter()
+                        .map(|&x| Json::Num(x))
+                        .collect(),
+                ),
+            );
+            push("topologies", Json::UInt(*topologies as u64));
+            push("rounds", Json::UInt(*rounds as u64));
+        }
+        ExperimentSpec::EnterpriseScaling {
+            scenario,
+            topologies,
+            rounds,
+        } => {
+            push("scenario", Json::Str(scenario.name().into()));
+            push("aps", Json::UInt(scenario.num_aps() as u64));
+            push("topologies", Json::UInt(*topologies as u64));
+            push("rounds", Json::UInt(*rounds as u64));
+        }
+        ExperimentSpec::TagWidth { widths, topologies } => {
+            push(
+                "widths",
+                Json::Arr(widths.iter().map(|&w| Json::UInt(w as u64)).collect()),
+            );
+            push("topologies", Json::UInt(*topologies as u64));
+        }
+        ExperimentSpec::DasRadius {
+            fractions,
+            topologies,
+        } => {
+            push(
+                "fractions",
+                Json::Arr(
+                    fractions
+                        .iter()
+                        .map(|&(lo, hi)| Json::Arr(vec![Json::Num(lo), Json::Num(hi)]))
+                        .collect(),
+                ),
+            );
+            push("topologies", Json::UInt(*topologies as u64));
+        }
+        ExperimentSpec::AntennaWait { windows_us, trials } => {
+            push(
+                "windows_us",
+                Json::Arr(windows_us.iter().map(|&w| Json::UInt(w)).collect()),
+            );
+            push("trials", Json::UInt(*trials as u64));
+        }
+    }
+    Json::Obj(members)
+}
+
+/// Decodes `{"kind": ..., ...}` back into an [`ExperimentSpec`].
+pub fn experiment_from_json(v: &Json, path: &str) -> Result<ExperimentSpec, DecodeError> {
+    let kind_path = format!("{path}.kind");
+    let kind = take_str(field(v, path, "kind")?, &kind_path)?.to_string();
+    let req_usize = |key: &str| take_usize(field(v, path, key)?, &format!("{path}.{key}"));
+    let spec = match kind.as_str() {
+        "fig03_naive_scaling_drop" => {
+            check_keys(v, path, &["kind", "topologies"])?;
+            ExperimentSpec::NaiveScalingDrop {
+                topologies: req_usize("topologies")?,
+            }
+        }
+        "fig07_link_snr" => {
+            check_keys(v, path, &["kind", "topologies"])?;
+            ExperimentSpec::LinkSnr {
+                topologies: req_usize("topologies")?,
+            }
+        }
+        "fig08_09_capacity" => {
+            check_keys(v, path, &["kind", "environment", "antennas", "topologies"])?;
+            ExperimentSpec::MuMimoCapacity {
+                environment: environment_from_json(
+                    field(v, path, "environment")?,
+                    &format!("{path}.environment"),
+                )?,
+                antennas: req_usize("antennas")?,
+                topologies: req_usize("topologies")?,
+            }
+        }
+        "fig10_smart_precoding" => {
+            check_keys(v, path, &["kind", "topologies"])?;
+            ExperimentSpec::SmartPrecoding {
+                topologies: req_usize("topologies")?,
+            }
+        }
+        "fig11_optimal_comparison" => {
+            check_keys(v, path, &["kind", "topologies", "stale_csi"])?;
+            ExperimentSpec::OptimalComparison {
+                topologies: req_usize("topologies")?,
+                stale_csi: take_bool(field(v, path, "stale_csi")?, &format!("{path}.stale_csi"))?,
+            }
+        }
+        "fig12_simultaneous_tx" => {
+            check_keys(v, path, &["kind", "topologies"])?;
+            ExperimentSpec::SimultaneousTx {
+                topologies: req_usize("topologies")?,
+            }
+        }
+        "fig13_deadzone" => {
+            check_keys(v, path, &["kind", "deployments"])?;
+            ExperimentSpec::Deadzones {
+                deployments: req_usize("deployments")?,
+            }
+        }
+        "sec534_hidden_terminals" => {
+            check_keys(v, path, &["kind", "deployments"])?;
+            ExperimentSpec::HiddenTerminals {
+                deployments: req_usize("deployments")?,
+            }
+        }
+        "fig14_packet_tagging" => {
+            check_keys(v, path, &["kind", "topologies"])?;
+            ExperimentSpec::PacketTagging {
+                topologies: req_usize("topologies")?,
+            }
+        }
+        "fig15_three_ap_end_to_end" | "fig16_eight_ap_simulation" => {
+            check_keys(v, path, &["kind", "topologies", "rounds", "contention"])?;
+            ExperimentSpec::EndToEnd {
+                eight_aps: kind == "fig16_eight_ap_simulation",
+                topologies: req_usize("topologies")?,
+                rounds: req_usize("rounds")?,
+                contention: contention_from_json(
+                    field(v, path, "contention")?,
+                    &format!("{path}.contention"),
+                )?,
+            }
+        }
+        "fig16_calibration" => {
+            check_keys(
+                v,
+                path,
+                &[
+                    "kind",
+                    "cs_thresholds_dbm",
+                    "capture_margins_db",
+                    "sensing_sigmas_db",
+                    "topologies",
+                    "rounds",
+                ],
+            )?;
+            ExperimentSpec::Fig16Calibration {
+                grid: CalibrationGrid {
+                    cs_thresholds_dbm: f64_list(
+                        field(v, path, "cs_thresholds_dbm")?,
+                        &format!("{path}.cs_thresholds_dbm"),
+                    )?,
+                    capture_margins_db: f64_list(
+                        field(v, path, "capture_margins_db")?,
+                        &format!("{path}.capture_margins_db"),
+                    )?,
+                    sensing_sigmas_db: f64_list(
+                        field(v, path, "sensing_sigmas_db")?,
+                        &format!("{path}.sensing_sigmas_db"),
+                    )?,
+                },
+                topologies: req_usize("topologies")?,
+                rounds: req_usize("rounds")?,
+            }
+        }
+        "enterprise_scaling" => {
+            check_keys(
+                v,
+                path,
+                &["kind", "scenario", "aps", "topologies", "rounds"],
+            )?;
+            let scenario_path = format!("{path}.scenario");
+            let name = take_str(field(v, path, "scenario")?, &scenario_path)?;
+            let aps = req_usize("aps")?;
+            let scenario = Scenario::by_name(name, aps).ok_or_else(|| {
+                DecodeError::new(
+                    &scenario_path,
+                    format!(
+                        "unknown scenario {name:?} (expected \"enterprise_office\", \
+                         \"auditorium\" or \"dense_apartment\")"
+                    ),
+                )
+            })?;
+            ExperimentSpec::EnterpriseScaling {
+                scenario,
+                topologies: req_usize("topologies")?,
+                rounds: req_usize("rounds")?,
+            }
+        }
+        "ablation_tag_width" => {
+            check_keys(v, path, &["kind", "widths", "topologies"])?;
+            ExperimentSpec::TagWidth {
+                widths: usize_list(field(v, path, "widths")?, &format!("{path}.widths"))?,
+                topologies: req_usize("topologies")?,
+            }
+        }
+        "ablation_das_radius" => {
+            check_keys(v, path, &["kind", "fractions", "topologies"])?;
+            let fractions_path = format!("{path}.fractions");
+            let items = field(v, path, "fractions")?.as_arr().ok_or_else(|| {
+                DecodeError::new(&fractions_path, "expected an array of [lo, hi] pairs")
+            })?;
+            let mut fractions = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let pair_path = format!("{fractions_path}[{i}]");
+                let pair = item
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| DecodeError::new(&pair_path, "expected a [lo, hi] pair"))?;
+                fractions.push((
+                    take_f64(&pair[0], &format!("{pair_path}[0]"))?,
+                    take_f64(&pair[1], &format!("{pair_path}[1]"))?,
+                ));
+            }
+            ExperimentSpec::DasRadius {
+                fractions,
+                topologies: req_usize("topologies")?,
+            }
+        }
+        "ablation_antenna_wait" => {
+            check_keys(v, path, &["kind", "windows_us", "trials"])?;
+            ExperimentSpec::AntennaWait {
+                windows_us: u64_list(field(v, path, "windows_us")?, &format!("{path}.windows_us"))?,
+                trials: req_usize("trials")?,
+            }
+        }
+        other => {
+            return Err(DecodeError::new(
+                &kind_path,
+                format!("unknown experiment kind {other:?}"),
+            ))
+        }
+    };
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig16_spec() -> JobSpec {
+        JobSpec::new(ExperimentSpec::fig16(ContentionModel::Graph), 73125)
+    }
+
+    /// Every experiment variant survives the JSON round trip.
+    #[test]
+    fn experiments_round_trip_through_json() {
+        let specs = vec![
+            ExperimentSpec::fig03(),
+            ExperimentSpec::fig07(),
+            ExperimentSpec::fig08_09(EnvironmentKind::OfficeB, 8),
+            ExperimentSpec::fig10(),
+            ExperimentSpec::fig11(true),
+            ExperimentSpec::fig12(),
+            ExperimentSpec::fig13(),
+            ExperimentSpec::sec534(),
+            ExperimentSpec::fig14(),
+            ExperimentSpec::fig15(),
+            ExperimentSpec::fig16(ContentionModel::physical_calibrated()),
+            ExperimentSpec::EndToEnd {
+                eight_aps: true,
+                topologies: 2,
+                rounds: 3,
+                contention: ContentionModel::Physical(PhysicalConfig {
+                    cs_threshold_dbm: -82.0,
+                    capture_margin_db: 6.0,
+                    sensing_sigma_db: None,
+                }),
+            },
+            ExperimentSpec::Fig16Calibration {
+                grid: CalibrationGrid::default(),
+                topologies: 2,
+                rounds: 5,
+            },
+            ExperimentSpec::EnterpriseScaling {
+                scenario: Scenario::enterprise_office(64),
+                topologies: 3,
+                rounds: 10,
+            },
+            ExperimentSpec::TagWidth {
+                widths: vec![1, 2, 4],
+                topologies: 60,
+            },
+            ExperimentSpec::DasRadius {
+                fractions: vec![(0.25, 0.5), (0.5, 0.75)],
+                topologies: 60,
+            },
+            ExperimentSpec::AntennaWait {
+                windows_us: vec![0, 10, 20],
+                trials: 100,
+            },
+        ];
+        for spec in specs {
+            let json = experiment_to_json(&spec);
+            let back = experiment_from_json(&json, "$")
+                .unwrap_or_else(|e| panic!("decode failed for {}: {e}", json.write_compact()));
+            assert_eq!(back, spec, "round trip changed {}", json.write_compact());
+            // And the re-encoding is a fixed point (stable bytes).
+            assert_eq!(experiment_to_json(&back), json);
+        }
+    }
+
+    #[test]
+    fn job_spec_round_trips_with_all_knobs() {
+        let mut spec = JobSpec::new(ExperimentSpec::fig16(ContentionModel::Graph), 99);
+        spec.engine = FadingEngine::Counter;
+        spec.traffic = TrafficKind::OnOff {
+            duty: 0.3,
+            mean_burst_rounds: 4.0,
+        };
+        spec.coherence_interval_rounds = Some(4);
+        spec.threads = Some(8);
+        spec.deadline_ms = Some(60_000);
+        spec.stage_profiling = true;
+        let text = spec.to_json().write_pretty();
+        let back = JobSpec::from_json_str(&text).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn defaults_apply_when_knobs_are_omitted() {
+        let text = r#"{
+            "experiment": {"kind": "fig07_link_snr", "topologies": 60},
+            "seed": 73125
+        }"#;
+        let spec = JobSpec::from_json_str(text).unwrap();
+        assert_eq!(spec.engine, FadingEngine::Legacy);
+        assert_eq!(spec.traffic, TrafficKind::FullBuffer);
+        assert_eq!(spec.coherence_interval_rounds, None);
+        assert!(!spec.stage_profiling);
+    }
+
+    /// The cache-key material is a pinned golden: if these bytes drift, the
+    /// whole on-disk cache silently invalidates, so any change here must be
+    /// deliberate.
+    #[test]
+    fn cache_key_material_is_pinned() {
+        assert_eq!(
+            fig16_spec().cache_key_material(),
+            "{\"coherence_interval_rounds\":null,\"engine\":\"legacy\",\
+             \"experiment\":{\"contention\":{\"model\":\"graph\"},\
+             \"kind\":\"fig16_eight_ap_simulation\",\"rounds\":10,\"topologies\":15},\
+             \"seed\":73125,\"traffic\":{\"model\":\"full_buffer\"}}"
+        );
+    }
+
+    #[test]
+    fn cache_key_is_pinned_and_ignores_scheduling_knobs() {
+        let base = fig16_spec();
+        let key = base.cache_key();
+        assert_eq!(key.len(), 16);
+        assert_eq!(key, sha256_hex(base.cache_key_material().as_bytes())[..16]);
+
+        // Scheduling knobs do not fork the cache...
+        let mut scheduled = base.clone();
+        scheduled.threads = Some(8);
+        scheduled.deadline_ms = Some(1000);
+        scheduled.stage_profiling = true;
+        assert_eq!(scheduled.cache_key(), key);
+
+        // ...result-affecting knobs do.
+        let mut reseeded = base.clone();
+        reseeded.seed = 73126;
+        assert_ne!(reseeded.cache_key(), key);
+        let mut counter = base.clone();
+        counter.engine = FadingEngine::Counter;
+        assert_ne!(counter.cache_key(), key);
+    }
+
+    #[test]
+    fn decode_errors_carry_dotted_paths() {
+        let err =
+            JobSpec::from_json_str(r#"{"experiment": {"kind": "nope"}, "seed": 1}"#).unwrap_err();
+        assert!(err.to_string().contains("$.experiment.kind"), "{err}");
+
+        let err = JobSpec::from_json_str(
+            r#"{"experiment": {"kind": "fig07_link_snr", "topologies": "lots"}, "seed": 1}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("$.experiment.topologies"), "{err}");
+
+        let err = JobSpec::from_json_str(
+            r#"{"experiment": {"kind": "fig07_link_snr", "topologies": 60}}"#,
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("missing required key \"seed\""),
+            "{err}"
+        );
+
+        let err = JobSpec::from_json_str(
+            r#"{"experiment": {"kind": "fig07_link_snr", "topologies": 60},
+                "seed": 1, "typo_knob": true}"#,
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("unknown key \"typo_knob\""),
+            "{err}"
+        );
+
+        // Not JSON at all: the line/column surfaces.
+        let err = JobSpec::from_json_str("{oops}").unwrap_err();
+        assert!(matches!(err, SpecError::Json(_)), "{err}");
+    }
+
+    #[test]
+    fn session_knobs_are_rejected_on_non_session_experiments() {
+        let mut spec = JobSpec::new(ExperimentSpec::fig07(), 1);
+        spec.engine = FadingEngine::Counter;
+        let err = spec.validate().unwrap_err();
+        assert!(err.to_string().contains("session-driven"), "{err}");
+
+        let text = r#"{
+            "experiment": {"kind": "fig07_link_snr", "topologies": 60},
+            "seed": 1,
+            "coherence_interval_rounds": 4
+        }"#;
+        let err = JobSpec::from_json_str(text).unwrap_err();
+        assert!(
+            err.to_string().contains("$.coherence_interval_rounds"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn sensing_sigma_null_round_trips() {
+        let text = r#"{
+            "experiment": {
+                "kind": "fig16_eight_ap_simulation",
+                "topologies": 2, "rounds": 3,
+                "contention": {"model": "physical", "cs_threshold_dbm": -82,
+                               "capture_margin_db": 6, "sensing_sigma_db": null}
+            },
+            "seed": 5
+        }"#;
+        let spec = JobSpec::from_json_str(text).unwrap();
+        match spec.experiment {
+            ExperimentSpec::EndToEnd {
+                contention: ContentionModel::Physical(config),
+                ..
+            } => assert_eq!(config.sensing_sigma_db, None),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+}

@@ -10,6 +10,13 @@
 //!    state (peak memory flat in the round count).
 //!
 //! Run with `cargo run --release --example session_api`.
+//!
+//! No Rust required: every stop here is also reachable from the command
+//! line — the `midas` binary (`crates/svc`) runs the same
+//! [`ExperimentSpec`]s from JSON files with a result cache and a streamed
+//! round log: `cargo run --release -p midas-svc --bin midas -- run
+//! specs/fig16_8ap.json` (see the README's "Capacity-planning service"
+//! section and the example specs under `specs/`).
 
 use midas::prelude::*;
 use midas::sim::{
