@@ -19,6 +19,12 @@
 //! * `metro_1024ap` — a 1024-AP / 8192-client counter-engine point, only
 //!   tractable because lazy evolution never materialises the quadratic
 //!   share of out-of-range fading state per boundary.
+//! * `mobility_64ap` / `mobility_64ap_off` — the 64-AP counter-engine
+//!   workload with the long-horizon dynamics layer on
+//!   (`DynamicsSpec::roaming_walk`: every client random-waypoint walking +
+//!   antenna-aware roaming per round) and its dynamics-off twin, identical
+//!   in every other knob — their interleaved A/B difference is the
+//!   per-round cost of the dynamics stage.
 //!
 //! Repetitions are **interleaved round-robin across cells** (rep 1 of every
 //! cell, then rep 2, …) so legacy/counter pairs of the same workload are
@@ -52,6 +58,7 @@ use midas::experiment::{end_to_end_series_with_engine, enterprise_scaling_with_e
 use midas_bench::{Cell, Figure, Table, BENCH_SEED};
 use midas_channel::FadingEngine;
 use midas_net::capture::ContentionModel;
+use midas_net::dynamics::DynamicsSpec;
 use midas_net::metrics::Cdf;
 use midas_net::scale::Scenario;
 use midas_net::simulator::{MacKind, NetworkSimulator, StageTimings};
@@ -176,6 +183,36 @@ fn cell_by_name(
             }),
         }
     };
+    // The dynamics A/B pair: the 64-AP counter-engine workload with the
+    // dynamics layer on (roaming walkers) and its off twin.  Both run the
+    // simulator directly so the only difference between the cells is
+    // `config.dynamics` — the interleaved median gap is the dynamics tax.
+    let mobility = |name, dynamics: Option<DynamicsSpec>, default_topologies| {
+        let topologies = topologies_override.unwrap_or(default_topologies).max(1);
+        PipelineCell {
+            name,
+            aps: 64,
+            clients: 512,
+            topologies,
+            rounds,
+            engine: FadingEngine::Counter,
+            run: Box::new(move || {
+                let scenario = Scenario::enterprise_office(64);
+                let mut sum = 0.0;
+                for t in 0..topologies {
+                    let seed = BENCH_SEED.wrapping_add(t as u64);
+                    let pair = scenario.build(seed).expect("floor fits the grid");
+                    for (mac, topo) in [(MacKind::Cas, pair.cas), (MacKind::Midas, pair.das)] {
+                        let mut config = scenario.sim_config(mac, rounds, seed);
+                        config.fading = FadingEngine::Counter;
+                        config.dynamics = dynamics;
+                        sum += NetworkSimulator::new(topo, config).run().mean_capacity();
+                    }
+                }
+                sum
+            }),
+        }
+    };
     match name {
         "fig16_8ap" => Some(fig16("fig16_8ap", FadingEngine::Legacy, 4)),
         "fig16_8ap_counter" => Some(fig16("fig16_8ap_counter", FadingEngine::Counter, 4)),
@@ -195,6 +232,12 @@ fn cell_by_name(
             1,
         )),
         "metro_1024ap" => Some(enterprise("metro_1024ap", 1024, FadingEngine::Counter, 1)),
+        "mobility_64ap" => Some(mobility(
+            "mobility_64ap",
+            Some(DynamicsSpec::roaming_walk(1.4)),
+            3,
+        )),
+        "mobility_64ap_off" => Some(mobility("mobility_64ap_off", None, 3)),
         _ => None,
     }
 }
@@ -345,7 +388,7 @@ fn main() {
         "MIDAS_PIPELINE_CELLS",
         "fig16_8ap,fig16_8ap_counter,fig16_8ap_svc,enterprise_64ap,\
          enterprise_64ap_counter,enterprise_256ap,enterprise_256ap_counter,\
-         metro_1024ap",
+         metro_1024ap,mobility_64ap,mobility_64ap_off",
     );
     let reps = env_usize("MIDAS_PIPELINE_REPS", 7).max(1);
     let topologies_override = std::env::var("MIDAS_PIPELINE_TOPOLOGIES")
@@ -465,6 +508,21 @@ fn main() {
         println!(
             "# service dispatch overhead at fig16_8ap scale: {svc:.3} s vs {direct:.3} s \
              in-process ({overhead_pct:+.1} %)"
+        );
+    }
+
+    // Dynamics-stage overhead: the 64-AP workload with roaming walkers vs
+    // its dynamics-off twin, A/B within this interleaved run.
+    if let (Some(on), Some(off)) = (median_of("mobility_64ap"), median_of("mobility_64ap_off")) {
+        let cell = cells
+            .iter()
+            .find(|c| c.name == "mobility_64ap")
+            .expect("cell exists when its median does");
+        let per_round_us = 1e6 * (on - off) / sim_rounds(cell) as f64;
+        println!(
+            "# dynamics overhead at mobility_64ap scale: {on:.3} s vs {off:.3} s static \
+             ({:+.1} %, {per_round_us:+.0} us/round)",
+            100.0 * (on - off) / off
         );
     }
 

@@ -401,6 +401,38 @@ impl ChannelModel {
         }
     }
 
+    /// Re-derives one client row's large-scale gains after the client moved
+    /// to `position`, rescaling the composite coefficients so the unit-power
+    /// fading state carries over unchanged.
+    ///
+    /// The large-scale part (path loss + the frozen shadowing field) is a
+    /// pure function of the endpoint positions — no sequential RNG draw is
+    /// consumed — so moving one client perturbs nothing else in the model.
+    /// That purity is what lets the dynamics layer keep static runs
+    /// byte-identical: a model that never sees a move emits exactly the
+    /// draws it always did.
+    pub fn refresh_large_scale_row(
+        &self,
+        channel: &mut ChannelMatrix,
+        row: usize,
+        antennas: &[Point],
+        position: &Point,
+    ) {
+        assert_eq!(antennas.len(), channel.num_antennas());
+        for (k, apos) in antennas.iter().enumerate() {
+            let g_new = self.large_scale_amp(apos, position);
+            let g_old = channel.large_scale.get(row, k);
+            let h = channel.h.get(row, k);
+            let h_new = if g_old > 0.0 {
+                h.scale(g_new / g_old)
+            } else {
+                Complex::new(g_new, 0.0)
+            };
+            channel.large_scale.set(row, k, g_new);
+            channel.h.set(row, k, h_new);
+        }
+    }
+
     /// Counter-engine counterpart of [`ChannelModel::evolve_in_place`]:
     /// evolves every row of `channel` by one step keyed at `round`, with
     /// rows keyed by their index under AP lane `ap`.  Convenience for tests
@@ -547,6 +579,36 @@ mod tests {
         assert_eq!(sub.h.get(0, 0), ch.h.get(1, 0));
         assert_eq!(sub.h.get(1, 1), ch.h.get(3, 2));
         assert_eq!(sub.large_scale.get(0, 1), ch.large_scale.get(1, 2));
+    }
+
+    #[test]
+    fn refresh_large_scale_row_is_pure_and_preserves_fading() {
+        let (topo, mut model) = das_topology(9);
+        let clients = topo.clients_of(0);
+        let mut ch = model.realize(&topo.aps[0], &clients);
+        let before = ch.clone();
+        let antennas = &topo.aps[0].antennas;
+        let new_pos = Point::new(11.5, 7.25);
+        model.refresh_large_scale_row(&mut ch, 1, antennas, &new_pos);
+        for k in 0..ch.num_antennas() {
+            // The new gains are exactly the frozen field at the new position.
+            let expected_dbm = model.large_scale_rx_power_dbm(&antennas[k], &new_pos);
+            assert!((ch.mean_rssi_dbm(1, k) - expected_dbm).abs() < 1e-9);
+            // The unit-power fading coefficient carried over unchanged.
+            let f_old = before.h.get(1, k).scale(1.0 / before.large_scale.get(1, k));
+            let f_new = ch.h.get(1, k).scale(1.0 / ch.large_scale.get(1, k));
+            assert!((f_old - f_new).norm() < 1e-12);
+            // Other rows are untouched.
+            assert_eq!(ch.h.get(0, k), before.h.get(0, k));
+            assert_eq!(ch.large_scale.get(2, k), before.large_scale.get(2, k));
+        }
+        // Moving back restores the original gains bit-for-bit in the
+        // large-scale part (pure function of positions).
+        let home = clients[1].position;
+        model.refresh_large_scale_row(&mut ch, 1, antennas, &home);
+        for k in 0..ch.num_antennas() {
+            assert!((ch.large_scale.get(1, k) - before.large_scale.get(1, k)).abs() < 1e-15);
+        }
     }
 
     #[test]

@@ -58,12 +58,14 @@ mod spec;
 
 pub use session::{PairedSamples, Session, SessionBuilder, SessionSeries, SessionTrial};
 pub use source::{PairedRecipe, TopologySource};
-pub use spec::{ExperimentOutput, ExperimentSpec, SpecParseError};
+pub use spec::{ExperimentOutput, ExperimentSpec, LoadGainRow, SpecParseError};
 
 // The building blocks a session composes, re-exported so `midas::sim` is a
 // one-stop import for session users.
 pub use midas_channel::FadingEngine;
 pub use midas_net::capture::{ContentionModel, PhysicalConfig};
+pub use midas_net::dynamics::{DynamicsSpec, MobilityModel, ReassociationSpec};
 pub use midas_net::observer::{Accumulate, Observer, RoundRecord, RunningSummary, Tee};
 pub use midas_net::simulator::{MacKind, ScanMode, StageTimings};
+pub use midas_net::traffic::{Churn, Diurnal, FlashCrowd};
 pub use midas_net::traffic::{FullBuffer, OnOff, Poisson, TrafficKind, TrafficModel};

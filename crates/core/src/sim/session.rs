@@ -8,6 +8,7 @@ use crate::sim::source::TopologySource;
 use midas_channel::FadingEngine;
 use midas_net::capture::ContentionModel;
 use midas_net::deployment::PairedTopology;
+use midas_net::dynamics::DynamicsSpec;
 use midas_net::observer::Observer;
 use midas_net::simulator::{MacKind, NetworkSimConfig, NetworkSimulator, TopologyResult};
 use midas_net::traffic::TrafficKind;
@@ -90,6 +91,7 @@ pub struct SessionBuilder {
     fading: FadingEngine,
     evolve_threads: usize,
     stage_profiling: bool,
+    dynamics: Option<DynamicsSpec>,
     mix: (u64, u64),
     threads: Option<usize>,
 }
@@ -107,6 +109,7 @@ impl SessionBuilder {
             fading: FadingEngine::Legacy,
             evolve_threads: 1,
             stage_profiling: false,
+            dynamics: None,
             mix: (1, 0),
             threads: None,
         }
@@ -175,6 +178,16 @@ impl SessionBuilder {
     /// the totals through [`Observer::on_finish`].
     pub fn stage_profiling(mut self, enabled: bool) -> Self {
         self.stage_profiling = enabled;
+        self
+    }
+
+    /// Installs a long-horizon dynamics layer (default: off).  When set,
+    /// every trial's simulators run the per-round mutation stage — client
+    /// mobility, re-association/handoff and the large-scale gain refresh
+    /// it implies — ahead of channel evolution.  `None` (the default)
+    /// keeps every session byte-identical to the static pipeline.
+    pub fn dynamics(mut self, spec: DynamicsSpec) -> Self {
+        self.dynamics = spec.is_active().then_some(spec);
         self
     }
 
@@ -342,6 +355,7 @@ impl SessionTrial<'_> {
         }
         config.fading = inner.fading;
         config.evolve_threads = inner.evolve_threads;
+        config.dynamics = inner.dynamics;
         config
     }
 

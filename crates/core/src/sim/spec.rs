@@ -19,12 +19,15 @@ use crate::experiment::{
     fig14_packet_tagging, fig16_calibration, sec534_hidden_terminals, CalibrationCell,
     CalibrationGrid, EnterpriseScalingSeries, SmartPrecodingSeries,
 };
-use crate::sim::session::{PairedSamples, SessionSeries};
+use crate::sim::session::{PairedSamples, SessionBuilder, SessionSeries};
+use crate::sim::source::PairedRecipe;
 use midas_channel::EnvironmentKind;
 use midas_net::capture::ContentionModel;
 use midas_net::coverage::DeadzoneComparison;
+use midas_net::dynamics::DynamicsSpec;
 use midas_net::hidden_terminal::HiddenTerminalComparison;
 use midas_net::scale::Scenario;
+use midas_net::traffic::TrafficKind;
 
 /// One experiment of the paper's evaluation (plus the beyond-paper
 /// enterprise sweep), as a value.  See the module docs.
@@ -112,6 +115,21 @@ pub enum ExperimentSpec {
         topologies: usize,
         /// TXOP rounds per realisation.
         rounds: usize,
+    },
+    /// Beyond the paper — MIDAS-vs-CAS capacity gain as a function of
+    /// offered load, with optional long-horizon client mobility.  Each duty
+    /// cycle becomes one on/off workload point on the 3-AP testbed; the
+    /// row reports the paired median network capacities and their ratio.
+    LoadVsGain {
+        /// On/off duty cycles swept (offered-load points, each in `[0, 1]`).
+        duty_cycles: Vec<f64>,
+        /// Random topologies per point.
+        topologies: usize,
+        /// TXOP rounds per topology.
+        rounds: usize,
+        /// Walker speed (m/s) for the roaming-walk dynamics layer; `0`
+        /// keeps the sweep static (byte-identical to the legacy pipeline).
+        speed_mps: f64,
     },
     /// Ablation — tag-width sweep (§3.2.4).
     TagWidth {
@@ -232,6 +250,7 @@ impl ExperimentSpec {
             } => "fig16_eight_ap_simulation",
             ExperimentSpec::Fig16Calibration { .. } => "fig16_calibration",
             ExperimentSpec::EnterpriseScaling { .. } => "enterprise_scaling",
+            ExperimentSpec::LoadVsGain { .. } => "load_vs_gain",
             ExperimentSpec::TagWidth { .. } => "ablation_tag_width",
             ExperimentSpec::DasRadius { .. } => "ablation_das_radius",
             ExperimentSpec::AntennaWait { .. } => "ablation_antenna_wait",
@@ -306,6 +325,18 @@ impl ExperimentSpec {
                 *rounds,
                 seed,
             )),
+            ExperimentSpec::LoadVsGain {
+                duty_cycles,
+                topologies,
+                rounds,
+                speed_mps,
+            } => ExperimentOutput::LoadVsGain(load_vs_gain(
+                duty_cycles,
+                *topologies,
+                *rounds,
+                *speed_mps,
+                seed,
+            )),
             ExperimentSpec::TagWidth { widths, topologies } => {
                 ExperimentOutput::TagWidth(ablation_tag_width(widths, *topologies, seed))
             }
@@ -318,6 +349,63 @@ impl ExperimentSpec {
             }
         }
     }
+}
+
+/// One offered-load point of an [`ExperimentSpec::LoadVsGain`] sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadGainRow {
+    /// The on/off duty cycle this row was measured at.
+    pub duty: f64,
+    /// Median CAS network capacity across topologies (bit/s/Hz).
+    pub cas_median: f64,
+    /// Median MIDAS network capacity across topologies (bit/s/Hz).
+    pub das_median: f64,
+    /// `das_median / cas_median` — the headline gain at this load.
+    pub gain: f64,
+}
+
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    match sorted.len() {
+        0 => f64::NAN,
+        n if n % 2 == 1 => sorted[n / 2],
+        n => (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0,
+    }
+}
+
+/// Sweeps MIDAS-vs-CAS gain against offered load on the 3-AP testbed,
+/// optionally under the roaming-walk dynamics layer (`speed_mps > 0`).
+fn load_vs_gain(
+    duty_cycles: &[f64],
+    topologies: usize,
+    rounds: usize,
+    speed_mps: f64,
+    seed: u64,
+) -> Vec<LoadGainRow> {
+    duty_cycles
+        .iter()
+        .map(|&duty| {
+            let mut builder = SessionBuilder::new(PairedRecipe::three_ap_paper())
+                .rounds(rounds)
+                .traffic(TrafficKind::OnOff {
+                    duty,
+                    mean_burst_rounds: 4.0,
+                });
+            if speed_mps > 0.0 {
+                builder = builder.dynamics(DynamicsSpec::roaming_walk(speed_mps));
+            }
+            let series = builder.build().run(topologies, seed);
+            let cas_median = median(&series.network.cas);
+            let das_median = median(&series.network.das);
+            LoadGainRow {
+                duty,
+                cas_median,
+                das_median,
+                gain: das_median / cas_median,
+            }
+        })
+        .collect()
 }
 
 /// The typed result of an [`ExperimentSpec::run`].
@@ -343,6 +431,8 @@ pub enum ExperimentOutput {
     Calibration(Vec<CalibrationCell>),
     /// The enterprise-scaling diagnostic series.
     Enterprise(EnterpriseScalingSeries),
+    /// One row per duty cycle of the load-vs-gain sweep.
+    LoadVsGain(Vec<LoadGainRow>),
     /// `(tag_width, mean capacity)` rows.
     TagWidth(Vec<(usize, f64)>),
     /// `((lo, hi) fraction band, median capacity)` rows.
@@ -422,6 +512,14 @@ impl ExperimentOutput {
         }
     }
 
+    /// Unwraps a [`ExperimentOutput::LoadVsGain`] result.
+    pub fn expect_load_vs_gain(self) -> Vec<LoadGainRow> {
+        match self {
+            ExperimentOutput::LoadVsGain(s) => s,
+            other => panic!("expected load-vs-gain rows, got {}", other.variant_name()),
+        }
+    }
+
     /// Unwraps a [`ExperimentOutput::TagWidth`] result.
     pub fn expect_tag_width(self) -> Vec<(usize, f64)> {
         match self {
@@ -456,6 +554,7 @@ impl ExperimentOutput {
             ExperimentOutput::EndToEnd(_) => "EndToEnd",
             ExperimentOutput::Calibration(_) => "Calibration",
             ExperimentOutput::Enterprise(_) => "Enterprise",
+            ExperimentOutput::LoadVsGain(_) => "LoadVsGain",
             ExperimentOutput::TagWidth(_) => "TagWidth",
             ExperimentOutput::DasRadius(_) => "DasRadius",
             ExperimentOutput::AntennaWait(_) => "AntennaWait",
@@ -595,6 +694,17 @@ impl std::fmt::Display for ExperimentSpec {
                     "{name}{{scenario={label},aps={aps},topologies={topologies},rounds={rounds}}}"
                 )
             }
+            ExperimentSpec::LoadVsGain {
+                duty_cycles,
+                topologies,
+                rounds,
+                speed_mps,
+            } => write!(
+                f,
+                "{name}{{duty_cycles={},topologies={topologies},rounds={rounds},\
+                 speed_mps={speed_mps:?}}}",
+                fmt_f64_list(duty_cycles)
+            ),
             ExperimentSpec::TagWidth { widths, topologies } => {
                 let items: Vec<String> = widths.iter().map(|w| w.to_string()).collect();
                 write!(
@@ -895,6 +1005,21 @@ impl std::str::FromStr for ExperimentSpec {
                     scenario,
                     topologies,
                     rounds,
+                }
+            }
+            "load_vs_gain" => {
+                let duty_cycles = c.field("duty_cycles", |c| c.list(|c| c.number("a float")))?;
+                c.lit(",")?;
+                let topologies = c.field("topologies", |c| c.number("an integer"))?;
+                c.lit(",")?;
+                let rounds = c.field("rounds", |c| c.number("an integer"))?;
+                c.lit(",")?;
+                let speed_mps = c.field("speed_mps", |c| c.number("a float"))?;
+                ExperimentSpec::LoadVsGain {
+                    duty_cycles,
+                    topologies,
+                    rounds,
+                    speed_mps,
                 }
             }
             "ablation_tag_width" => {

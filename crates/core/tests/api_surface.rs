@@ -24,11 +24,13 @@ const SOURCES: &[(&str, &str)] = &[
 const PINNED: &[&str] = &[
     "sim/mod.rs: use session::{PairedSamples, Session, SessionBuilder, SessionSeries, SessionTrial}",
     "sim/mod.rs: use source::{PairedRecipe, TopologySource}",
-    "sim/mod.rs: use spec::{ExperimentOutput, ExperimentSpec, SpecParseError}",
+    "sim/mod.rs: use spec::{ExperimentOutput, ExperimentSpec, LoadGainRow, SpecParseError}",
     "sim/mod.rs: use midas_channel::FadingEngine",
     "sim/mod.rs: use midas_net::capture::{ContentionModel, PhysicalConfig}",
+    "sim/mod.rs: use midas_net::dynamics::{DynamicsSpec, MobilityModel, ReassociationSpec}",
     "sim/mod.rs: use midas_net::observer::{Accumulate, Observer, RoundRecord, RunningSummary, Tee}",
     "sim/mod.rs: use midas_net::simulator::{MacKind, ScanMode, StageTimings}",
+    "sim/mod.rs: use midas_net::traffic::{Churn, Diurnal, FlashCrowd}",
     "sim/mod.rs: use midas_net::traffic::{FullBuffer, OnOff, Poisson, TrafficKind, TrafficModel}",
     "sim/session.rs: struct PairedSamples",
     "sim/session.rs: fn from_pairs",
@@ -44,6 +46,7 @@ const PINNED: &[&str] = &[
     "sim/session.rs: fn fading_engine",
     "sim/session.rs: fn evolve_threads",
     "sim/session.rs: fn stage_profiling",
+    "sim/session.rs: fn dynamics",
     "sim/session.rs: fn seed_mix",
     "sim/session.rs: fn threads",
     "sim/session.rs: fn build",
@@ -84,6 +87,7 @@ const PINNED: &[&str] = &[
     "sim/spec.rs: fn fig16",
     "sim/spec.rs: fn name",
     "sim/spec.rs: fn run",
+    "sim/spec.rs: struct LoadGainRow",
     "sim/spec.rs: enum ExperimentOutput",
     "sim/spec.rs: fn expect_paired",
     "sim/spec.rs: fn expect_smart_precoding",
@@ -93,6 +97,7 @@ const PINNED: &[&str] = &[
     "sim/spec.rs: fn expect_end_to_end",
     "sim/spec.rs: fn expect_calibration",
     "sim/spec.rs: fn expect_enterprise",
+    "sim/spec.rs: fn expect_load_vs_gain",
     "sim/spec.rs: fn expect_tag_width",
     "sim/spec.rs: fn expect_das_radius",
     "sim/spec.rs: fn expect_antenna_wait",

@@ -15,8 +15,8 @@
 
 use midas::experiment;
 use midas::sim::{
-    ContentionModel, ExperimentSpec, MacKind, PairedRecipe, RunningSummary, SessionBuilder,
-    SessionTrial, TrafficKind,
+    ContentionModel, DynamicsSpec, ExperimentSpec, MacKind, PairedRecipe, RunningSummary,
+    SessionBuilder, SessionTrial, TrafficKind,
 };
 use midas_channel::EnvironmentKind;
 use midas_net::scale::Scenario;
@@ -118,6 +118,48 @@ fn non_saturation_traffic_is_deterministic_and_lighter() {
         .run(3, 4);
     let sum = |v: &[f64]| v.iter().sum::<f64>();
     assert!(sum(&a.network.das) <= sum(&saturated.network.das));
+}
+
+#[test]
+fn dynamic_sessions_are_bit_identical_at_1_and_4_workers() {
+    // Mobility + roaming draw from a dedicated per-trial RNG stream, so
+    // fanning trials across workers must not perturb a single byte.
+    let build = |threads: usize| {
+        SessionBuilder::new(PairedRecipe::three_ap_paper())
+            .rounds(6)
+            .threads(threads)
+            .traffic(TrafficKind::OnOff {
+                duty: 0.6,
+                mean_burst_rounds: 4.0,
+            })
+            .dynamics(DynamicsSpec::roaming_walk(1.4))
+            .build()
+    };
+    let serial = build(1).run(4, 0xD1A);
+    let parallel = build(4).run(4, 0xD1A);
+    assert_eq!(serial.network.cas, parallel.network.cas);
+    assert_eq!(serial.network.das, parallel.network.das);
+    assert_eq!(serial.per_client.cas, parallel.per_client.cas);
+    assert_eq!(serial.per_client.das, parallel.per_client.das);
+}
+
+#[test]
+fn an_inactive_dynamics_spec_is_byte_identical_to_no_dynamics() {
+    // `DynamicsSpec::default()` configures nothing; the builder must treat
+    // it exactly like never calling `.dynamics(...)`, keeping every static
+    // golden byte for byte.
+    let base = three_ap_session(1).run(3, 77);
+    let inactive = SessionBuilder::new(PairedRecipe::three_ap_paper())
+        .rounds(4)
+        .seed_mix(193, 61)
+        .threads(1)
+        .dynamics(DynamicsSpec::default())
+        .build()
+        .run(3, 77);
+    assert_eq!(base.network.cas, inactive.network.cas);
+    assert_eq!(base.network.das, inactive.network.das);
+    assert_eq!(base.per_client.cas, inactive.per_client.cas);
+    assert_eq!(base.per_client.das, inactive.per_client.das);
 }
 
 #[test]

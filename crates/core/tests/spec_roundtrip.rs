@@ -102,6 +102,15 @@ fn golden_specs() -> Vec<(ExperimentSpec, &'static str)> {
             "enterprise_scaling{scenario=auditorium,aps=16,topologies=2,rounds=5}",
         ),
         (
+            ExperimentSpec::LoadVsGain {
+                duty_cycles: vec![0.1, 0.5, 1.0],
+                topologies: 4,
+                rounds: 12,
+                speed_mps: 1.2,
+            },
+            "load_vs_gain{duty_cycles=[0.1,0.5,1.0],topologies=4,rounds=12,speed_mps=1.2}",
+        ),
+        (
             ExperimentSpec::TagWidth {
                 widths: vec![1, 2, 4],
                 topologies: 60,

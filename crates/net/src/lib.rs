@@ -17,8 +17,12 @@
 //! * [`hidden_terminal`] — the hidden-terminal spot analysis of §5.3.4.
 //! * [`simulator`] — round-based end-to-end network simulation combining the
 //!   MIDAS / CAS MACs with the precoders (Figs. 15 and 16).
+//! * [`dynamics`] — the long-horizon mutation layer: client mobility
+//!   (random waypoint, corridor flow), per-round roaming with hysteresis,
+//!   all off by default (static runs stay byte-identical).
 //! * [`traffic`] — pluggable downlink workloads (`FullBuffer`, `OnOff`,
-//!   `Poisson`) deciding which clients are backlogged each round.
+//!   `Poisson`, plus the diurnal / flash-crowd / churn long-horizon
+//!   envelopes) deciding which clients are backlogged each round.
 //! * [`observer`] — streaming per-round result consumers (`Accumulate`
 //!   rebuilds `TopologyResult` bit-for-bit; `RunningSummary` is
 //!   memory-flat in the round count).
@@ -34,6 +38,7 @@ pub mod capture;
 pub mod contention;
 pub mod coverage;
 pub mod deployment;
+pub mod dynamics;
 pub mod hidden_terminal;
 pub mod metrics;
 pub mod observer;
@@ -43,6 +48,7 @@ pub mod spatial_reuse;
 pub mod traffic;
 
 pub use capture::{ContentionModel, PhysicalConfig};
+pub use dynamics::{DynamicsSpec, MobilityModel, ReassociationSpec};
 pub use metrics::Cdf;
 pub use observer::{Accumulate, Observer, RoundRecord, RunningSummary};
 pub use scale::{AssociationPolicy, FloorGrid, Scenario, SpatialIndex};

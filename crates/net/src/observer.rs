@@ -76,6 +76,14 @@ pub trait Observer {
     fn on_finish(&mut self, timings: &StageTimings) {
         let _ = timings;
     }
+
+    /// Polled after every [`Observer::on_round`]: returning `true` stops
+    /// the run before the next round begins (cooperative, round-granular
+    /// cancellation — deadline probes hang off this).  Default: `false`,
+    /// so plain result observers never stop a run.
+    fn stop_requested(&mut self) -> bool {
+        false
+    }
 }
 
 /// The accumulate-everything observer: reproduces the legacy
@@ -291,6 +299,16 @@ impl Observer for Tee<'_> {
         for obs in &mut self.observers {
             obs.on_finish(timings);
         }
+    }
+
+    fn stop_requested(&mut self) -> bool {
+        // Every observer is polled (no short-circuit) so each sees a
+        // consistent per-round cadence; any single `true` stops the run.
+        let mut stop = false;
+        for obs in &mut self.observers {
+            stop |= obs.stop_requested();
+        }
+        stop
     }
 }
 

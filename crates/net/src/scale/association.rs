@@ -115,6 +115,13 @@ pub fn associate(topo: &mut Topology, env: &Environment, policy: AssociationPoli
         let pick = match policy {
             AssociationPolicy::NearestAp | AssociationPolicy::AntennaAware => best.0,
             AssociationPolicy::LoadBalanced { hysteresis_db } => {
+                // Total order over the qualifying window: lexicographic
+                // `(current load, ap id)`, lowest wins.  `scored` ascends in
+                // AP id and the load comparison is strict, so equal-RSSI /
+                // equal-load ties always resolve to the lowest AP id — the
+                // stable tie-break the per-round roaming path (and
+                // 1-vs-4-thread bit-identity) relies on.  Pinned by the
+                // property tests in `proptest_scale.rs`.
                 let mut pick = best.0;
                 let mut pick_load = usize::MAX;
                 for &(ap, s) in &scored {
@@ -131,6 +138,169 @@ pub fn associate(topo: &mut Topology, env: &Environment, policy: AssociationPoli
     }
     for (client, ap_id) in topo.clients.iter_mut().zip(chosen) {
         client.ap_id = ap_id;
+    }
+}
+
+/// Incremental roaming engine: per-round, incumbent-aware re-association.
+///
+/// [`associate`] rebuilds its candidate index on every call — fine for
+/// one-shot topology generation, wasteful when the dynamics layer
+/// re-associates every round.  `Reassociator` keeps a persistent
+/// [`SpatialIndex`] over the *client* positions, updated incrementally via
+/// [`SpatialIndex::move_point`] as the mobility layer moves clients, and
+/// reuses its candidate/scratch buffers across rounds, so steady-state
+/// roaming allocates nothing.
+///
+/// ## Handoff semantics
+///
+/// A client sticks with its incumbent AP while the incumbent's mean RSSI is
+/// within `hysteresis_db` of the best candidate's.  Only when the incumbent
+/// falls below that window does the client hand off: [`NearestAp`] /
+/// [`AntennaAware`] pick the strongest candidate (lowest AP id on exact
+/// RSSI ties), [`LoadBalanced`] picks the lexicographically least
+/// `(current load, ap id)` among the candidates inside the window.  The
+/// explicit `hysteresis_db` argument governs both the stickiness and the
+/// load-equivalence window here; the policy's embedded window applies to
+/// fresh [`associate`] passes only.
+///
+/// Because a freshly handed-off client lands inside the window by
+/// construction, a static topology reaches a fix-point after one pass —
+/// handoffs cannot oscillate — which the property tests pin.
+///
+/// [`NearestAp`]: AssociationPolicy::NearestAp
+/// [`AntennaAware`]: AssociationPolicy::AntennaAware
+/// [`LoadBalanced`]: AssociationPolicy::LoadBalanced
+pub struct Reassociator {
+    clients: SpatialIndex,
+    candidate_radius: f64,
+    /// Candidate AP ids per client, rebuilt each pass from the index.
+    candidates: Vec<Vec<u32>>,
+    loads: Vec<usize>,
+    scratch: Vec<usize>,
+}
+
+impl Reassociator {
+    /// Builds the persistent client index for `topo` (client ids are the
+    /// index ids).
+    pub fn new(topo: &Topology, env: &Environment) -> Self {
+        let mut clients = SpatialIndex::new(topo.region, env.coverage_range_m().max(1.0));
+        for c in &topo.clients {
+            clients.insert(c.position);
+        }
+        Reassociator {
+            clients,
+            candidate_radius: 2.0 * env.coverage_range_m(),
+            candidates: vec![Vec::new(); topo.clients.len()],
+            loads: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Mirrors a client move into the persistent index (incremental
+    /// [`SpatialIndex::move_point`], not clear+rebuild).
+    pub fn move_client(&mut self, client_id: usize, p: Point) {
+        self.clients.move_point(client_id, p);
+    }
+
+    /// Bytes of heap the roaming engine retains; stable once warm.
+    pub fn heap_footprint_bytes(&self) -> usize {
+        self.clients.heap_footprint_bytes()
+            + self.candidates.capacity() * std::mem::size_of::<Vec<u32>>()
+            + self
+                .candidates
+                .iter()
+                .map(|c| c.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+            + self.loads.capacity() * std::mem::size_of::<usize>()
+            + self.scratch.capacity() * std::mem::size_of::<usize>()
+    }
+
+    /// One incumbent-aware re-association pass over every client (in client
+    /// id order).  Returns the number of handoffs performed.
+    pub fn reassociate(
+        &mut self,
+        topo: &mut Topology,
+        env: &Environment,
+        policy: AssociationPolicy,
+        hysteresis_db: f64,
+    ) -> usize {
+        if topo.aps.is_empty() || topo.clients.is_empty() {
+            return 0;
+        }
+        for c in &mut self.candidates {
+            c.clear();
+        }
+        // Reversed candidate discovery: one query of the (moving) client
+        // index per static antenna/chassis position, instead of rebuilding
+        // an antenna index and querying it per client.
+        for ap in &topo.aps {
+            for pos in std::iter::once(&ap.position).chain(ap.antennas.iter()) {
+                self.clients
+                    .neighbors_within_into(pos, self.candidate_radius, &mut self.scratch);
+                for &cid in &self.scratch {
+                    self.candidates[cid].push(ap.ap_id as u32);
+                }
+            }
+        }
+        self.loads.clear();
+        self.loads.resize(topo.aps.len(), 0);
+        for c in &topo.clients {
+            self.loads[c.ap_id] += 1;
+        }
+
+        let chassis_only = policy == AssociationPolicy::NearestAp;
+        let hysteresis = hysteresis_db.max(0.0);
+        let mut handoffs = 0usize;
+        for cid in 0..topo.clients.len() {
+            let p = topo.clients[cid].position;
+            let incumbent = topo.clients[cid].ap_id;
+            let cands = &mut self.candidates[cid];
+            cands.sort_unstable();
+            cands.dedup();
+
+            let incumbent_rssi = best_rssi_dbm(env, topo, incumbent, &p, chassis_only);
+            let mut best_ap = incumbent;
+            let mut best_rssi = incumbent_rssi;
+            for &ap in cands.iter() {
+                let ap = ap as usize;
+                if ap == incumbent {
+                    continue;
+                }
+                let s = best_rssi_dbm(env, topo, ap, &p, chassis_only);
+                if s > best_rssi || (s == best_rssi && ap < best_ap) {
+                    best_ap = ap;
+                    best_rssi = s;
+                }
+            }
+            if incumbent_rssi >= best_rssi - hysteresis {
+                continue; // sticky: the incumbent is still good enough
+            }
+            let pick = match policy {
+                AssociationPolicy::NearestAp | AssociationPolicy::AntennaAware => best_ap,
+                AssociationPolicy::LoadBalanced { .. } => {
+                    // Least `(current load, ap id)` inside the window — the
+                    // same total order the fresh pass uses.
+                    let mut pick = best_ap;
+                    let mut pick_load = self.loads[best_ap];
+                    for &ap in cands.iter() {
+                        let ap = ap as usize;
+                        let s = best_rssi_dbm(env, topo, ap, &p, chassis_only);
+                        if s >= best_rssi - hysteresis && (self.loads[ap], ap) < (pick_load, pick) {
+                            pick = ap;
+                            pick_load = self.loads[ap];
+                        }
+                    }
+                    pick
+                }
+            };
+            if pick != incumbent {
+                self.loads[incumbent] -= 1;
+                self.loads[pick] += 1;
+                topo.clients[cid].ap_id = pick;
+                handoffs += 1;
+            }
+        }
+        handoffs
     }
 }
 
@@ -239,6 +409,69 @@ mod tests {
             peak(&balanced),
             peak(&rssi_only)
         );
+    }
+
+    #[test]
+    fn reassociate_reaches_a_fix_point_in_one_pass() {
+        for policy in [
+            AssociationPolicy::NearestAp,
+            AssociationPolicy::AntennaAware,
+            AssociationPolicy::LoadBalanced { hysteresis_db: 3.0 },
+        ] {
+            let (mut topo, env) = grid_topology(21);
+            // Scramble: everyone on AP 0 — far from optimal.
+            for c in &mut topo.clients {
+                c.ap_id = 0;
+            }
+            let mut roam = Reassociator::new(&topo, &env);
+            let first = roam.reassociate(&mut topo, &env, policy, 3.0);
+            assert!(first > 0, "{policy:?}: no handoffs from a scrambled start");
+            let second = roam.reassociate(&mut topo, &env, policy, 3.0);
+            assert_eq!(second, 0, "{policy:?}: handoffs oscillate");
+        }
+    }
+
+    #[test]
+    fn reassociate_agrees_with_fresh_association_at_zero_hysteresis() {
+        let (mut fresh, env) = grid_topology(22);
+        associate(&mut fresh, &env, AssociationPolicy::AntennaAware);
+        let mut roamed = fresh.clone();
+        for c in &mut roamed.clients {
+            c.ap_id = 0;
+        }
+        let mut roam = Reassociator::new(&roamed, &env);
+        roam.reassociate(&mut roamed, &env, AssociationPolicy::AntennaAware, 0.0);
+        // Every client must land on an AP with the same best-antenna RSSI as
+        // the fresh pass chose (ids can differ only on exact RSSI ties).
+        for (a, b) in fresh.clients.iter().zip(roamed.clients.iter()) {
+            let ra = best_rssi_dbm(&env, &fresh, a.ap_id, &a.position, false);
+            let rb = best_rssi_dbm(&env, &roamed, b.ap_id, &b.position, false);
+            assert!((ra - rb).abs() < 1e-9, "client {}: {ra} vs {rb}", a.id);
+        }
+        // And a fresh-associated topology is already a roaming fix-point.
+        let mut stable = fresh.clone();
+        let mut roam2 = Reassociator::new(&stable, &env);
+        assert_eq!(
+            roam2.reassociate(&mut stable, &env, AssociationPolicy::AntennaAware, 0.0),
+            0
+        );
+    }
+
+    #[test]
+    fn reassociate_tracks_moved_clients_through_the_index() {
+        let (mut topo, env) = grid_topology(23);
+        associate(&mut topo, &env, AssociationPolicy::AntennaAware);
+        let mut roam = Reassociator::new(&topo, &env);
+        // Walk client 0 across the floor to the far corner.
+        let far = Point::new(topo.region.max.x - 1.0, topo.region.max.y - 1.0);
+        topo.clients[0].position = far;
+        roam.move_client(0, far);
+        let handoffs = roam.reassociate(&mut topo, &env, AssociationPolicy::AntennaAware, 0.0);
+        assert!(handoffs >= 1, "a cross-floor move must hand off");
+        let own = best_rssi_dbm(&env, &topo, topo.clients[0].ap_id, &far, false);
+        for ap in 0..topo.aps.len() {
+            assert!(best_rssi_dbm(&env, &topo, ap, &far, false) <= own + 1e-9);
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod grid;
 pub mod index;
 pub mod scenario;
 
-pub use association::{associate, AssociationPolicy};
+pub use association::{associate, AssociationPolicy, Reassociator};
 pub use grid::{ClientPlacement, FloorGrid, FloorGridError};
 pub use index::SpatialIndex;
 pub use scenario::{Scenario, ScenarioKind};

@@ -14,6 +14,7 @@
 
 use crate::capture::ContentionModel;
 use crate::contention::ContentionGraph;
+use crate::dynamics::{DynamicsSpec, DynamicsState};
 use crate::metrics::Cdf;
 use crate::observer::{Accumulate, Observer, RoundRecord};
 use crate::scale::index::SpatialIndex;
@@ -103,6 +104,13 @@ pub struct NetworkSimConfig {
     /// which `tests/proptest_fading.rs` pins.  Ignored under `Legacy`,
     /// whose pinned draw order is inherently serial.
     pub evolve_threads: usize,
+    /// Long-horizon dynamics: client mobility and per-round roaming (see
+    /// [`crate::dynamics`]).  `None` (the constructor default) is the
+    /// static simulator, byte-identical to every pre-dynamics golden; any
+    /// `Some` switches the per-AP channels to dense rows (every client has
+    /// a row at every AP) so moving and roaming clients always have channel
+    /// state wherever they end up.
+    pub dynamics: Option<DynamicsSpec>,
 }
 
 impl NetworkSimConfig {
@@ -121,6 +129,7 @@ impl NetworkSimConfig {
             coherence_interval_rounds: 1,
             fading: FadingEngine::Legacy,
             evolve_threads: 1,
+            dynamics: None,
         }
     }
 
@@ -139,6 +148,7 @@ impl NetworkSimConfig {
             coherence_interval_rounds: 1,
             fading: FadingEngine::Legacy,
             evolve_threads: 1,
+            dynamics: None,
         }
     }
 
@@ -254,6 +264,9 @@ impl TopologyResult {
 /// counter fading engine knows which rows the round will read).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StageTimings {
+    /// Dynamics: mobility, large-scale refresh, roaming and the MAC-state
+    /// rebuilds they trigger (0.0 when dynamics are off).
+    pub dynamics_s: f64,
     /// Channel evolution (legacy eager sweep or counter lazy catch-up).
     pub evolve_s: f64,
     /// Carrier sensing against the antennas already on the air.
@@ -273,7 +286,8 @@ pub struct StageTimings {
 impl StageTimings {
     /// Total wall-clock across all stages.
     pub fn total_s(&self) -> f64 {
-        self.evolve_s
+        self.dynamics_s
+            + self.evolve_s
             + self.sense_s
             + self.select_s
             + self.precode_s
@@ -285,8 +299,9 @@ impl StageTimings {
     /// place the stage names are spelled, so telemetry encoders (the
     /// capacity-planning service's JSONL stream, the pipeline bench's
     /// profile printout) cannot drift from the struct.
-    pub fn stages(&self) -> [(&'static str, f64); 6] {
+    pub fn stages(&self) -> [(&'static str, f64); 7] {
         [
+            ("dynamics", self.dynamics_s),
             ("evolve", self.evolve_s),
             ("sense", self.sense_s),
             ("select", self.select_s),
@@ -391,6 +406,11 @@ struct RoundWorkspace {
     own_clients: Vec<Vec<usize>>,
     /// Global client id → AP-local index within its owning AP.
     local_of: Vec<u32>,
+    /// Dynamics-stage scratch: APs whose membership changed this step
+    /// (DRR and tags rebuilt) and APs whose tag tables went stale because
+    /// an own client moved (tags rebuilt).
+    dirty_membership: Vec<bool>,
+    dirty_tags: Vec<bool>,
     /// Flattened interfering-transmission ids of every stream this round,
     /// in stream order (gather stage output, evaluate stage input).
     stream_interferers: Vec<usize>,
@@ -469,6 +489,8 @@ impl RoundWorkspace {
                 .map(|v| v.capacity() * size_of::<usize>())
                 .sum::<usize>()
             + self.local_of.capacity() * size_of::<u32>()
+            + self.dirty_membership.capacity() * size_of::<bool>()
+            + self.dirty_tags.capacity() * size_of::<bool>()
             + self.stream_interferers.capacity() * size_of::<usize>()
             + self.stream_bounds.capacity() * size_of::<usize>()
             + self.touched.capacity() * size_of::<(u32, u32)>()
@@ -550,6 +572,9 @@ pub struct NetworkSimulator {
     eager_counter_evolve: bool,
     /// Collect per-stage wall-clock into the workspace's [`StageTimings`].
     profile_stages: bool,
+    /// Long-horizon dynamics runtime state; `Some` iff
+    /// `config.dynamics.is_some()`.
+    dynamics: Option<DynamicsState>,
 }
 
 impl NetworkSimulator {
@@ -567,7 +592,11 @@ impl NetworkSimulator {
 
         let num_clients = topo.clients.len();
         let cutoff = config.interaction_range_m;
-        let client_index = cutoff.is_finite().then(|| {
+        // With dynamics on, every client gets a row at every AP: mobility
+        // and roaming would otherwise need sparse row insertion as clients
+        // wander into range of new APs mid-run.
+        let dense_rows = config.dynamics.is_some();
+        let client_index = (cutoff.is_finite() && !dense_rows).then(|| {
             SpatialIndex::from_points(
                 topo.region,
                 config.index_cell_m(),
@@ -635,6 +664,9 @@ impl NetworkSimulator {
         }
 
         let workspace = RoundWorkspace::for_simulator(&topo, &config);
+        let dynamics = config
+            .dynamics
+            .map(|spec| DynamicsState::new(&spec, &topo, &config.env, config.seed));
         NetworkSimulator {
             topo,
             config,
@@ -650,6 +682,7 @@ impl NetworkSimulator {
             fresh_workspace_per_round: false,
             eager_counter_evolve: false,
             profile_stages: false,
+            dynamics,
         }
     }
 
@@ -763,6 +796,10 @@ impl NetworkSimulator {
                 ws.timings = carried;
             }
             let t = tick(self.profile_stages);
+            self.dynamics_stage(round, &mut ws);
+            ws.timings.dynamics_s += secs_since(t);
+
+            let t = tick(self.profile_stages);
             self.evolve_stage(round);
             ws.timings.evolve_s += secs_since(t);
 
@@ -802,6 +839,12 @@ impl NetworkSimulator {
                 transmitting_aps: &ws.transmitting_aps,
                 streams: total_streams,
             });
+            // Cooperative cancellation at round granularity: an observer
+            // (e.g. a deadline probe) can stop the run between rounds.
+            // Observers that keep the default `false` see no change.
+            if observer.stop_requested() {
+                break;
+            }
 
             let t = tick(self.profile_stages);
             self.settle_stage(&mut ws);
@@ -812,6 +855,118 @@ impl NetworkSimulator {
         }
         observer.on_finish(&ws.timings);
         self.workspace = ws;
+    }
+
+    /// Pipeline stage 0 — dynamics: client mobility, large-scale channel
+    /// refresh, roaming, and the MAC-state rebuilds those trigger.  A
+    /// no-op (and never installed) when `config.dynamics` is `None`, so
+    /// static runs are byte-identical to the pre-dynamics simulator.
+    ///
+    /// Per step (every `period_rounds`, never at round 0):
+    /// 1. Mobility moves the mobile clients ([`DynamicsState::step_mobility`])
+    ///    and each moved client's row in every AP channel is rescaled to
+    ///    the large-scale gain at its new position
+    ///    ([`ChannelModel::refresh_large_scale_row`]) — the fading phase is
+    ///    preserved and no sequential RNG is consumed, so the static
+    ///    pipeline's draw order is untouched.
+    /// 2. Roaming re-associates clients with hysteresis
+    ///    ([`DynamicsState::step_roaming`]).
+    /// 3. The MAC-facing views are repaired: the workspace's ownership maps
+    ///    are rebuilt when any client handed off, DRR restarts for APs whose
+    ///    membership changed (a handoff is a fresh association), and tag
+    ///    tables are rebuilt for any AP whose own-client RSSI picture moved.
+    ///
+    /// [`ChannelModel::refresh_large_scale_row`]: midas_channel::ChannelModel::refresh_large_scale_row
+    fn dynamics_stage(&mut self, round: usize, ws: &mut RoundWorkspace) {
+        let Some(spec) = self.config.dynamics else {
+            return;
+        };
+        let Some(state) = self.dynamics.as_mut() else {
+            return;
+        };
+        let period = spec.period_rounds.max(1);
+        if round == 0 || !round.is_multiple_of(period) {
+            return;
+        }
+
+        // 1. Move, then rescale the moved clients' gains everywhere.
+        state.step_mobility(&spec, &mut self.topo);
+        for &cid in state.moved() {
+            let p = self.topo.clients[cid].position;
+            for (ap_id, apch) in self.channels.iter_mut().enumerate() {
+                if let Some(row) = apch.row_of[cid] {
+                    self.model.refresh_large_scale_row(
+                        &mut apch.ch,
+                        row as usize,
+                        &self.topo.aps[ap_id].antennas,
+                        &p,
+                    );
+                }
+            }
+        }
+
+        // 2. Roam.
+        state.step_roaming(&spec, &mut self.topo, &self.config.env);
+
+        // 3. Repair the MAC-facing views of whatever changed.
+        let num_aps = self.topo.aps.len();
+        ws.dirty_membership.clear();
+        ws.dirty_membership.resize(num_aps, false);
+        ws.dirty_tags.clear();
+        ws.dirty_tags.resize(num_aps, false);
+        let mut any_handoff = false;
+        for cid in state.handed_off(&self.topo) {
+            ws.dirty_membership[state.previous_ap(cid)] = true;
+            ws.dirty_membership[self.topo.clients[cid].ap_id] = true;
+            any_handoff = true;
+        }
+        for &cid in state.moved() {
+            ws.dirty_tags[self.topo.clients[cid].ap_id] = true;
+        }
+        if any_handoff {
+            for v in &mut ws.own_clients {
+                v.clear();
+            }
+            for c in &self.topo.clients {
+                ws.local_of[c.id] = ws.own_clients[c.ap_id].len() as u32;
+                ws.own_clients[c.ap_id].push(c.id);
+            }
+        }
+        for ap_id in 0..num_aps {
+            let membership = ws.dirty_membership[ap_id];
+            if membership {
+                self.drr[ap_id] = DrrScheduler::new(ws.own_clients[ap_id].len());
+            }
+            if membership || ws.dirty_tags[ap_id] {
+                let ap = &self.topo.aps[ap_id];
+                let ch = &self.channels[ap_id];
+                let rssi: Vec<Vec<f64>> = ws.own_clients[ap_id]
+                    .iter()
+                    .map(|&c| {
+                        (0..ap.num_antennas())
+                            .map(|k| ch.mean_rssi_dbm(c, k))
+                            .collect()
+                    })
+                    .collect();
+                self.tags[ap_id] = TagTable::from_rssi(&rssi, self.config.tag_width);
+            }
+        }
+    }
+
+    /// `(total client moves, total handoffs)` performed by the dynamics
+    /// layer so far; `None` when dynamics are off.
+    pub fn dynamics_stats(&self) -> Option<(usize, usize)> {
+        self.dynamics
+            .as_ref()
+            .map(|d| (d.moves_total(), d.handoffs_total()))
+    }
+
+    /// Bytes of heap the dynamics layer retains (0 when dynamics are off);
+    /// stable once warm, which the long-horizon footprint test pins.
+    pub fn dynamics_heap_footprint_bytes(&self) -> usize {
+        self.dynamics
+            .as_ref()
+            .map_or(0, DynamicsState::heap_footprint_bytes)
     }
 
     /// Pipeline stage 1 — legacy channel evolution.  Channels advance one
@@ -1382,6 +1537,7 @@ mod tests {
     #[test]
     fn stage_timings_stages_cover_every_field_in_pipeline_order() {
         let timings = StageTimings {
+            dynamics_s: 0.5,
             evolve_s: 1.0,
             sense_s: 2.0,
             select_s: 3.0,
@@ -1393,7 +1549,7 @@ mod tests {
         let stages = timings.stages();
         assert_eq!(
             stages.map(|(name, _)| name),
-            ["evolve", "sense", "select", "precode", "evaluate", "settle"]
+            ["dynamics", "evolve", "sense", "select", "precode", "evaluate", "settle"]
         );
         // Summing the pairs reproduces total_s: no field is missing or
         // double-counted.

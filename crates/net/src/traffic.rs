@@ -13,7 +13,10 @@
 //! selection.  [`FullBuffer`] reproduces the legacy behaviour **bit for
 //! bit** — every client, every round, no RNG consumed — which is what keeps
 //! every pre-redesign golden byte-identical; [`OnOff`] and [`Poisson`] add
-//! duty-cycled and queue-driven arrivals.
+//! duty-cycled and queue-driven arrivals; [`Diurnal`], [`FlashCrowd`] and
+//! [`Churn`] add the long-horizon time-varying workloads (day-long duty
+//! envelopes, flash bursts, attach/detach churn) behind the load-vs-gain
+//! study.
 //!
 //! Determinism contract: a model's answer for `(ap_id, round)` may depend
 //! only on its configuration, its seed, and the sequence of its *own*
@@ -256,6 +259,222 @@ impl TrafficModel for Poisson {
     }
 }
 
+/// Diurnal workload: duty-cycled traffic whose duty follows a smooth
+/// day-long envelope between a trough and a peak.
+///
+/// The offered duty at round `r` is a raised cosine over `day_rounds`
+/// (trough at round 0, peak half a day in); each client then gates
+/// per-burst-block on a private hash draw against that duty.  Like
+/// [`OnOff`], the answer for `(ap, client, round)` is a pure function of
+/// the configuration and seed — no state, no query-order dependence — so
+/// long-horizon runs stay bit-identical at any thread count.
+#[derive(Debug, Clone)]
+pub struct Diurnal {
+    low_duty: f64,
+    high_duty: f64,
+    day_rounds: usize,
+    mean_burst_rounds: f64,
+    seed: u64,
+}
+
+impl Diurnal {
+    /// A model cycling between `low_duty` (round 0, "midnight") and
+    /// `high_duty` (half a day in) over `day_rounds` (clamped to ≥ 2), in
+    /// bursts of `mean_burst_rounds` (clamped to ≥ 1) consecutive rounds.
+    pub fn new(
+        low_duty: f64,
+        high_duty: f64,
+        day_rounds: usize,
+        mean_burst_rounds: f64,
+        seed: u64,
+    ) -> Self {
+        let a = low_duty.clamp(0.0, 1.0);
+        let b = high_duty.clamp(0.0, 1.0);
+        Diurnal {
+            low_duty: a.min(b),
+            high_duty: a.max(b),
+            day_rounds: day_rounds.max(2),
+            mean_burst_rounds: mean_burst_rounds.max(1.0),
+            seed,
+        }
+    }
+
+    /// The offered duty at `round`: a raised cosine through the day.
+    pub fn duty_at(&self, round: usize) -> f64 {
+        let phase = (round % self.day_rounds) as f64 / self.day_rounds as f64;
+        let mid = 0.5 * (self.low_duty + self.high_duty);
+        let amp = 0.5 * (self.high_duty - self.low_duty);
+        mid - amp * (2.0 * std::f64::consts::PI * phase).cos()
+    }
+
+    fn is_on(&self, ap_id: usize, client: usize, round: usize) -> bool {
+        let duty = self.duty_at(round);
+        if duty >= 1.0 {
+            return true;
+        }
+        if duty <= 0.0 {
+            return false;
+        }
+        let block = round / (self.mean_burst_rounds.round() as usize).max(1);
+        let mut rng = per_client_rng(self.seed, ap_id, client).fork(block as u64);
+        rng.uniform() < duty
+    }
+}
+
+impl TrafficModel for Diurnal {
+    fn backlogged(&mut self, ap_id: usize, num_clients: usize, round: usize) -> Vec<usize> {
+        (0..num_clients)
+            .filter(|&c| self.is_on(ap_id, c, round))
+            .collect()
+    }
+
+    fn backlogged_into(
+        &mut self,
+        ap_id: usize,
+        num_clients: usize,
+        round: usize,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        out.extend((0..num_clients).filter(|&c| self.is_on(ap_id, c, round)));
+    }
+}
+
+/// Flash-crowd workload: light baseline duty punctuated by all-on bursts.
+///
+/// Event `k` starts at a seed-jittered offset inside epoch `k` (epochs are
+/// `flash_every_rounds` long) and backlogs *every* client for
+/// `flash_rounds`; between events clients follow an [`OnOff`] baseline at
+/// `base_duty`.  The flash schedule is a pure function of the seed, so the
+/// model keeps the stateless determinism contract.
+#[derive(Debug, Clone)]
+pub struct FlashCrowd {
+    base: OnOff,
+    flash_every_rounds: usize,
+    flash_rounds: usize,
+    seed: u64,
+}
+
+impl FlashCrowd {
+    /// A model with an [`OnOff`] baseline at `base_duty` and one flash of
+    /// `flash_rounds` (clamped into `1..=flash_every_rounds`) per epoch of
+    /// `flash_every_rounds` (clamped to ≥ 2) rounds.
+    pub fn new(base_duty: f64, flash_every_rounds: usize, flash_rounds: usize, seed: u64) -> Self {
+        let every = flash_every_rounds.max(2);
+        FlashCrowd {
+            base: OnOff::new(base_duty, 4.0, seed),
+            flash_every_rounds: every,
+            flash_rounds: flash_rounds.clamp(1, every),
+            seed,
+        }
+    }
+
+    /// Whether `round` falls inside a flash event.
+    pub fn in_flash(&self, round: usize) -> bool {
+        let epoch = round / self.flash_every_rounds;
+        // An event jittered late in epoch k-1 can spill into epoch k.
+        for k in epoch.saturating_sub(1)..=epoch {
+            let jitter = SimRng::new(self.seed ^ 0xF1A5_C0)
+                .fork(k as u64)
+                .uniform_usize(self.flash_every_rounds / 2 + 1);
+            let start = k * self.flash_every_rounds + jitter;
+            if round >= start && round < start + self.flash_rounds {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl TrafficModel for FlashCrowd {
+    fn backlogged(&mut self, ap_id: usize, num_clients: usize, round: usize) -> Vec<usize> {
+        if self.in_flash(round) {
+            (0..num_clients).collect()
+        } else {
+            self.base.backlogged(ap_id, num_clients, round)
+        }
+    }
+
+    fn backlogged_into(
+        &mut self,
+        ap_id: usize,
+        num_clients: usize,
+        round: usize,
+        out: &mut Vec<usize>,
+    ) {
+        if self.in_flash(round) {
+            out.clear();
+            out.extend(0..num_clients);
+        } else {
+            self.base.backlogged_into(ap_id, num_clients, round, out);
+        }
+    }
+}
+
+/// Churn workload: clients attach and detach on a session timescale, and
+/// only *attached* clients can be backlogged.
+///
+/// Presence per `(ap, client)` follows the stateless [`OnOff`] pattern at
+/// `attached_fraction` duty with `mean_session_rounds`-long sessions (a
+/// detached client has simply left the floor); while attached, the wrapped
+/// inner workload decides backlog as usual.  Modelling churn as activation
+/// gating keeps the topology and result-vector shapes fixed — an absent
+/// client is one that never contends — which is what lets 10⁵-round churn
+/// runs hold peak memory flat.
+pub struct Churn {
+    presence: OnOff,
+    inner: Box<dyn TrafficModel>,
+}
+
+impl Churn {
+    /// A model where each client is attached `attached_fraction` of the run
+    /// in sessions averaging `mean_session_rounds` (clamped to ≥ 1) rounds,
+    /// running `inner` while attached.
+    pub fn new(
+        attached_fraction: f64,
+        mean_session_rounds: f64,
+        inner: Box<dyn TrafficModel>,
+        seed: u64,
+    ) -> Self {
+        Churn {
+            presence: OnOff::new(
+                attached_fraction,
+                mean_session_rounds.max(1.0),
+                seed ^ 0xC0FFEE,
+            ),
+            inner,
+        }
+    }
+
+    /// Whether the client is attached (present on the floor) in `round`.
+    pub fn is_attached(&self, ap_id: usize, client: usize, round: usize) -> bool {
+        self.presence.is_on(ap_id, client, round)
+    }
+}
+
+impl TrafficModel for Churn {
+    fn backlogged(&mut self, ap_id: usize, num_clients: usize, round: usize) -> Vec<usize> {
+        let mut out = self.inner.backlogged(ap_id, num_clients, round);
+        out.retain(|&c| self.presence.is_on(ap_id, c, round));
+        out
+    }
+
+    fn backlogged_into(
+        &mut self,
+        ap_id: usize,
+        num_clients: usize,
+        round: usize,
+        out: &mut Vec<usize>,
+    ) {
+        self.inner.backlogged_into(ap_id, num_clients, round, out);
+        out.retain(|&c| self.presence.is_on(ap_id, c, round));
+    }
+
+    fn served(&mut self, ap_id: usize, client: usize) {
+        self.inner.served(ap_id, client);
+    }
+}
+
 /// A declarative, copyable description of a traffic workload — what session
 /// configs and experiment specs carry; [`TrafficKind::instantiate`] builds
 /// the stateful [`TrafficModel`] the simulator owns.
@@ -277,6 +496,33 @@ pub enum TrafficKind {
         /// Mean packets arriving per client per round.
         mean_arrivals_per_round: f64,
     },
+    /// Duty-cycled bursts under a day-long diurnal duty envelope.
+    Diurnal {
+        /// Duty at the trough of the envelope (round 0).
+        low_duty: f64,
+        /// Duty at the peak of the envelope (half a day in).
+        high_duty: f64,
+        /// Rounds per envelope period ("day").
+        day_rounds: usize,
+        /// Mean consecutive on-rounds per burst.
+        mean_burst_rounds: f64,
+    },
+    /// Light baseline duty punctuated by seed-jittered all-on flash events.
+    FlashCrowd {
+        /// Baseline duty between flashes.
+        base_duty: f64,
+        /// Epoch length — one flash per this many rounds.
+        flash_every_rounds: usize,
+        /// Flash duration in rounds.
+        flash_rounds: usize,
+    },
+    /// Session-timescale attach/detach churn gating a saturated workload.
+    Churn {
+        /// Fraction of the run each client spends attached.
+        attached_fraction: f64,
+        /// Mean attached-session length in rounds.
+        mean_session_rounds: f64,
+    },
 }
 
 impl TrafficKind {
@@ -292,6 +538,37 @@ impl TrafficKind {
             TrafficKind::Poisson {
                 mean_arrivals_per_round,
             } => Box::new(Poisson::new(mean_arrivals_per_round, seed)),
+            TrafficKind::Diurnal {
+                low_duty,
+                high_duty,
+                day_rounds,
+                mean_burst_rounds,
+            } => Box::new(Diurnal::new(
+                low_duty,
+                high_duty,
+                day_rounds,
+                mean_burst_rounds,
+                seed,
+            )),
+            TrafficKind::FlashCrowd {
+                base_duty,
+                flash_every_rounds,
+                flash_rounds,
+            } => Box::new(FlashCrowd::new(
+                base_duty,
+                flash_every_rounds,
+                flash_rounds,
+                seed,
+            )),
+            TrafficKind::Churn {
+                attached_fraction,
+                mean_session_rounds,
+            } => Box::new(Churn::new(
+                attached_fraction,
+                mean_session_rounds,
+                Box::new(FullBuffer),
+                seed,
+            )),
         }
     }
 }
@@ -408,6 +685,18 @@ mod tests {
                 Box::new(Poisson::new(0.8, 11)),
                 Box::new(Poisson::new(0.8, 11)),
             ),
+            (
+                Box::new(Diurnal::new(0.2, 0.9, 40, 3.0, 11)),
+                Box::new(Diurnal::new(0.2, 0.9, 40, 3.0, 11)),
+            ),
+            (
+                Box::new(FlashCrowd::new(0.1, 20, 3, 11)),
+                Box::new(FlashCrowd::new(0.1, 20, 3, 11)),
+            ),
+            (
+                Box::new(Churn::new(0.6, 8.0, Box::new(Poisson::new(0.8, 11)), 11)),
+                Box::new(Churn::new(0.6, 8.0, Box::new(Poisson::new(0.8, 11)), 11)),
+            ),
         ];
         for (mut a, mut b) in pairs {
             let mut buf = Vec::new();
@@ -421,6 +710,84 @@ mod tests {
                         b.served(ap, c);
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn diurnal_duty_tracks_the_envelope() {
+        let m = Diurnal::new(0.1, 0.9, 1_000, 4.0, 5);
+        assert!((m.duty_at(0) - 0.1).abs() < 1e-12);
+        assert!((m.duty_at(500) - 0.9).abs() < 1e-12);
+        assert!((m.duty_at(1_000) - 0.1).abs() < 1e-12, "period wraps");
+        // Realised load near the trough is well below the load near the peak.
+        let mut m = Diurnal::new(0.1, 0.9, 1_000, 4.0, 5);
+        let load = |m: &mut Diurnal, lo: usize, hi: usize| -> f64 {
+            let mut on = 0usize;
+            for r in lo..hi {
+                on += m.backlogged(0, 16, r).len();
+            }
+            on as f64 / ((hi - lo) * 16) as f64
+        };
+        let trough = load(&mut m, 0, 100);
+        let peak = load(&mut m, 450, 550);
+        assert!(
+            peak > trough + 0.3,
+            "peak {peak:.2} should clear trough {trough:.2}"
+        );
+    }
+
+    #[test]
+    fn diurnal_is_deterministic_and_order_independent() {
+        let mut a = Diurnal::new(0.2, 0.8, 64, 3.0, 7);
+        let mut b = Diurnal::new(0.2, 0.8, 64, 3.0, 7);
+        let forward: Vec<_> = (0..50).map(|r| a.backlogged(1, 6, r)).collect();
+        for r in (0..50).rev() {
+            assert_eq!(b.backlogged(1, 6, r), forward[r], "round {r}");
+        }
+    }
+
+    #[test]
+    fn flash_crowd_backlogs_everyone_during_a_flash() {
+        let mut m = FlashCrowd::new(0.05, 50, 5, 9);
+        let flash_rounds: Vec<usize> = (0..500).filter(|&r| m.in_flash(r)).collect();
+        assert!(!flash_rounds.is_empty(), "no flash fired in 10 epochs");
+        // Flashes cover roughly flash_rounds/flash_every of the horizon.
+        assert!(flash_rounds.len() >= 40 && flash_rounds.len() <= 60);
+        for &r in &flash_rounds {
+            assert_eq!(m.backlogged(2, 7, r), (0..7).collect::<Vec<_>>());
+        }
+        // Off-flash rounds follow the light baseline: far fewer on-clients.
+        let off_rounds: Vec<usize> = (0..500).filter(|&r| !m.in_flash(r)).collect();
+        let off_load: usize = off_rounds
+            .into_iter()
+            .map(|r| m.backlogged(2, 7, r).len())
+            .sum();
+        assert!(off_load < 500, "baseline load too heavy: {off_load}");
+    }
+
+    #[test]
+    fn churn_gates_the_inner_workload_by_presence() {
+        let mut churn = Churn::new(0.5, 20.0, Box::new(FullBuffer), 3);
+        let mut attached_total = 0usize;
+        for round in 0..400 {
+            let backlogged = churn.backlogged(0, 8, round);
+            for &c in &backlogged {
+                assert!(churn.is_attached(0, c, round), "round {round} client {c}");
+            }
+            attached_total += backlogged.len();
+        }
+        let fraction = attached_total as f64 / (400 * 8) as f64;
+        assert!(
+            (0.35..=0.65).contains(&fraction),
+            "attached fraction {fraction:.2} far from 0.5"
+        );
+        // Served notifications reach the inner model (queue-driven inner).
+        let mut queued = Churn::new(1.0, 10.0, Box::new(Poisson::new(0.5, 4)), 4);
+        for round in 0..30 {
+            let b = queued.backlogged(0, 4, round);
+            for &c in &b {
+                queued.served(0, c);
             }
         }
     }

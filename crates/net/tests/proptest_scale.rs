@@ -8,11 +8,11 @@
 //! scan implementation ran.
 
 use midas_channel::geometry::{Point, Rect};
-use midas_channel::topology::TopologyConfig;
+use midas_channel::topology::{Topology, TopologyConfig};
 use midas_channel::{Environment, SimRng};
 use midas_net::contention::ContentionGraph;
 use midas_net::scale::grid::ClientPlacement;
-use midas_net::scale::{FloorGrid, Scenario, SpatialIndex};
+use midas_net::scale::{associate, AssociationPolicy, FloorGrid, Scenario, SpatialIndex};
 use midas_net::simulator::{MacKind, NetworkSimulator, ScanMode};
 use proptest::prelude::*;
 
@@ -151,6 +151,140 @@ proptest! {
         };
         for mac in [MacKind::Midas, MacKind::Cas] {
             assert_scan_modes_agree(&scenario, mac, 5, seed);
+        }
+    }
+}
+
+/// Mean RSSI (dBm) of the best antenna (or chassis) of `ap` at `p` — the
+/// association metric, replayed independently of `midas_net`.
+fn rssi_dbm(env: &Environment, topo: &Topology, ap: usize, p: &Point) -> f64 {
+    let best_d = topo.aps[ap]
+        .antennas
+        .iter()
+        .map(|a| a.distance(p))
+        .fold(topo.aps[ap].position.distance(p), f64::min);
+    env.tx_power_dbm - env.path_loss.path_loss_db(best_d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The `LoadBalanced` tie-break is pinned to the lexicographic order
+    /// `(current load, ap id)`, processed in client-id order.  An
+    /// independent sequential replay over the same candidate radius must
+    /// reproduce `associate`'s assignment exactly — in particular, the
+    /// all-qualify window (infinite hysteresis) makes *every* candidate a
+    /// tie on RSSI, so any instability in the tie-break would diverge.
+    #[test]
+    fn load_balanced_ties_resolve_in_stable_order(
+        seed in 0u64..1_000_000,
+        cols in 2usize..5,
+        rows in 1usize..4,
+        spacing in 8.0f64..18.0,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let grid = random_grid(cols, rows, spacing, seed as usize);
+        let mut topo = grid
+            .generate(&TopologyConfig::das(4, 4), &mut rng)
+            .expect("valid grid");
+        let env = Environment::open_plan();
+
+        // Independent replay: per client in id order, the pick is the least
+        // `(load-so-far, ap id)` among the APs with an antenna or chassis
+        // inside the candidate radius (everything, if none is in range).
+        let radius = 2.0 * env.coverage_range_m();
+        let mut loads = vec![0usize; topo.aps.len()];
+        let mut expected = Vec::with_capacity(topo.clients.len());
+        for c in &topo.clients {
+            let mut cands: Vec<usize> = (0..topo.aps.len())
+                .filter(|&ap| {
+                    let chassis = topo.aps[ap].position.distance(&c.position);
+                    topo.aps[ap]
+                        .antennas
+                        .iter()
+                        .map(|a| a.distance(&c.position))
+                        .fold(chassis, f64::min)
+                        <= radius
+                })
+                .collect();
+            if cands.is_empty() {
+                cands = (0..topo.aps.len()).collect();
+            }
+            let pick = cands
+                .into_iter()
+                .min_by_key(|&ap| (loads[ap], ap))
+                .expect("at least one AP");
+            loads[pick] += 1;
+            expected.push(pick);
+        }
+
+        associate(
+            &mut topo,
+            &env,
+            AssociationPolicy::LoadBalanced { hysteresis_db: f64::INFINITY },
+        );
+        let got: Vec<usize> = topo.clients.iter().map(|c| c.ap_id).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// With a *finite* window the pick must still be the least
+    /// `(load, ap id)` among the in-window candidates at its turn — no
+    /// client may sit on an AP while a strictly smaller qualifying pair
+    /// existed when it was processed.
+    #[test]
+    fn load_balanced_picks_are_minimal_inside_the_window(
+        seed in 0u64..1_000_000,
+        hysteresis in 0.0f64..20.0,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let grid = random_grid(3, 2, 14.0, seed as usize);
+        let mut topo = grid
+            .generate(&TopologyConfig::das(4, 4), &mut rng)
+            .expect("valid grid");
+        let env = Environment::open_plan();
+        associate(
+            &mut topo,
+            &env,
+            AssociationPolicy::LoadBalanced { hysteresis_db: hysteresis },
+        );
+
+        // Replay the loads in client-id order and check minimality at each
+        // step, over the same candidate radius `associate` used.
+        let radius = 2.0 * env.coverage_range_m();
+        let mut loads = vec![0usize; topo.aps.len()];
+        for c in &topo.clients {
+            let mut cands: Vec<usize> = (0..topo.aps.len())
+                .filter(|&ap| {
+                    let chassis = topo.aps[ap].position.distance(&c.position);
+                    topo.aps[ap]
+                        .antennas
+                        .iter()
+                        .map(|a| a.distance(&c.position))
+                        .fold(chassis, f64::min)
+                        <= radius
+                })
+                .collect();
+            if cands.is_empty() {
+                cands = (0..topo.aps.len()).collect();
+            }
+            let best = cands
+                .iter()
+                .map(|&ap| rssi_dbm(&env, &topo, ap, &c.position))
+                .fold(f64::NEG_INFINITY, f64::max);
+            let window: Vec<usize> = cands
+                .into_iter()
+                .filter(|&ap| rssi_dbm(&env, &topo, ap, &c.position) >= best - hysteresis)
+                .collect();
+            prop_assert!(window.contains(&c.ap_id), "client {} landed outside its window", c.id);
+            let min = window
+                .into_iter()
+                .min_by_key(|&ap| (loads[ap], ap))
+                .expect("non-empty window");
+            prop_assert_eq!(
+                (loads[c.ap_id], c.ap_id), (loads[min], min),
+                "client {} took a non-minimal (load, ap) pair", c.id
+            );
+            loads[c.ap_id] += 1;
         }
     }
 }

@@ -7,6 +7,7 @@
 //! are cache hits; `gc` removes the rest (failed, cancelled, timed-out and
 //! torn directories), or everything with `all`.
 
+use std::collections::HashSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -82,10 +83,23 @@ pub struct GcReport {
 /// Removes job directories that are not valid cache entries — any state
 /// other than `done`, or torn directories without a readable status.  With
 /// `all`, removes every entry.
+///
+/// This standalone form assumes no queue is serving the directory; when
+/// one is, use [`JobQueue::gc`](crate::pool::JobQueue::gc), which excludes
+/// the jobs that are queued or running so their directories are never
+/// deleted out from under a worker.
 pub fn gc(jobs_dir: &Path, all: bool) -> io::Result<GcReport> {
+    gc_excluding(jobs_dir, all, &HashSet::new())
+}
+
+/// [`gc`] with a live set: any id in `live` is kept regardless of its
+/// on-disk state.  A queued or running job's `status.json` says `queued` /
+/// `running` — exactly what plain `gc` reaps — so the queue passes its
+/// in-flight ids here to keep collection safe while jobs execute.
+pub fn gc_excluding(jobs_dir: &Path, all: bool, live: &HashSet<String>) -> io::Result<GcReport> {
     let mut report = GcReport::default();
     for entry in ls(jobs_dir)? {
-        let keep = !all && entry.state == Some(JobState::Done);
+        let keep = live.contains(&entry.id) || (!all && entry.state == Some(JobState::Done));
         if keep {
             report.kept += 1;
         } else {

@@ -237,6 +237,19 @@ impl JobQueue {
         Ok(job)
     }
 
+    /// Garbage-collects the jobs directory without touching in-flight
+    /// work: the dedup table's ids are excluded from collection, and the
+    /// table stays locked for the duration so a concurrent [`submit`] can
+    /// neither dedup into a directory being removed nor create one that
+    /// this sweep then half-deletes.
+    ///
+    /// [`submit`]: JobQueue::submit
+    pub fn gc(&self, all: bool) -> io::Result<crate::cache::GcReport> {
+        let inflight = self.shared.inflight.lock().expect("inflight lock");
+        let live: std::collections::HashSet<String> = inflight.keys().cloned().collect();
+        crate::cache::gc_excluding(&self.shared.jobs_dir, all, &live)
+    }
+
     /// Graceful shutdown: stops accepting the idle wait, lets every queued
     /// job run to completion, then joins the workers.
     pub fn drain(self) {

@@ -14,11 +14,14 @@
 //!
 //! ## Cancellation
 //!
-//! Cooperative, at trial granularity: every sweep closure checks the
-//! [`CancelToken`] before building its topology, so a cancelled or
-//! deadline-exceeded job stops after the in-flight trials finish.  The
-//! direct (non-session) experiments check once up front — they run a single
-//! library call with no interior yield points.
+//! Cooperative, at *round* granularity: every sweep closure checks the
+//! [`CancelToken`] before building its topology, and a `DeadlineProbe`
+//! observer rides in each trial's observer tee, polling the token after
+//! every round through [`Observer::stop_requested`] — so even a 1-trial,
+//! many-round job stops within one round of the deadline instead of
+//! running its trial to completion.  The direct (non-session) experiments
+//! check once up front — they run a single library call with no interior
+//! yield points.
 
 use std::fs;
 use std::io;
@@ -32,8 +35,8 @@ use crate::observer::{JsonlObserver, JsonlSink};
 use crate::spec::JobSpec;
 use midas::experiment::{CalibrationCell, EnterpriseScalingSeries, SmartPrecodingSeries};
 use midas::sim::{
-    Accumulate, ExperimentOutput, ExperimentSpec, MacKind, PairedRecipe, PairedSamples,
-    SessionBuilder, SessionSeries, SessionTrial, Tee,
+    Accumulate, ExperimentOutput, ExperimentSpec, MacKind, Observer, PairedRecipe, PairedSamples,
+    RoundRecord, SessionBuilder, SessionSeries, SessionTrial, Tee,
 };
 use midas_net::contention::ContentionGraph;
 use midas_net::scale::scenario::INTERACTION_MARGIN_DB;
@@ -148,7 +151,7 @@ pub fn run_job(
                 if token.stop_reason().is_some() {
                     return None;
                 }
-                let (cas, das) = observe_pair(trial, &sink);
+                let (cas, das) = observe_pair(trial, &sink, token);
                 Some((
                     (cas.mean_capacity(), das.mean_capacity()),
                     (
@@ -200,7 +203,7 @@ pub fn run_job(
                     .map(|row| row.iter().filter(|&&x| x).count())
                     .sum::<usize>() as f64
                     / adjacency.len().max(1) as f64;
-                let (cas, das) = observe_pair(trial, &sink);
+                let (cas, das) = observe_pair(trial, &sink, token);
                 Some((
                     cas.mean_capacity(),
                     das.mean_capacity(),
@@ -257,16 +260,41 @@ fn apply_knobs(builder: SessionBuilder, spec: &JobSpec) -> SessionBuilder {
     if let Some(threads) = spec.threads {
         builder = builder.threads(threads);
     }
+    if let Some(dynamics) = spec.dynamics {
+        builder = builder.dynamics(dynamics);
+    }
     builder
 }
 
+/// A passive observer that asks the simulator to stop as soon as its
+/// [`CancelToken`] fires — the round-granular half of job cancellation.
+/// It records nothing, so teeing it alongside the result observers leaves
+/// every completed run byte-identical.
+struct DeadlineProbe<'a> {
+    token: &'a CancelToken,
+}
+
+impl Observer for DeadlineProbe<'_> {
+    fn on_round(&mut self, _record: &RoundRecord<'_>) {}
+
+    fn stop_requested(&mut self) -> bool {
+        self.token.stop_reason().is_some()
+    }
+}
+
 /// Runs both MACs of one trial, teeing rounds into the JSONL sink while
-/// accumulating the bit-exact [`TopologyResult`]s.
-fn observe_pair(trial: &SessionTrial<'_>, sink: &JsonlSink) -> (TopologyResult, TopologyResult) {
+/// accumulating the bit-exact [`TopologyResult`]s.  A [`DeadlineProbe`]
+/// rides along so a fired token stops mid-trial, after the current round.
+fn observe_pair(
+    trial: &SessionTrial<'_>,
+    sink: &JsonlSink,
+    token: &CancelToken,
+) -> (TopologyResult, TopologyResult) {
     let run = |mac: MacKind, label: &'static str| {
         let mut acc = Accumulate::new();
         let mut log = JsonlObserver::new(sink, trial.index(), label);
-        trial.observe(mac, &mut Tee::new(vec![&mut acc, &mut log]));
+        let mut probe = DeadlineProbe { token };
+        trial.observe(mac, &mut Tee::new(vec![&mut acc, &mut log, &mut probe]));
         acc.into_result()
     };
     let cas = run(MacKind::Cas, "cas");
@@ -383,6 +411,24 @@ pub fn encode_output(output: &ExperimentOutput) -> Json {
             (
                 "das_contention_degree".into(),
                 f64_arr(&series.das_contention_degree),
+            ),
+        ]),
+        ExperimentOutput::LoadVsGain(rows) => Json::Obj(vec![
+            kind("load_vs_gain"),
+            (
+                "rows".into(),
+                Json::Arr(
+                    rows.iter()
+                        .map(|row| {
+                            Json::Obj(vec![
+                                ("duty".into(), Json::Num(row.duty)),
+                                ("cas_median".into(), Json::Num(row.cas_median)),
+                                ("das_median".into(), Json::Num(row.das_median)),
+                                ("gain".into(), Json::Num(row.gain)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
         ]),
         ExperimentOutput::TagWidth(rows) => Json::Obj(vec![
@@ -543,6 +589,10 @@ pub fn summarize(output: &ExperimentOutput) -> Vec<(String, f64)> {
                 median(&s.das_contention_degree),
             ),
         ],
+        ExperimentOutput::LoadVsGain(rows) => rows
+            .iter()
+            .map(|r| (format!("duty_{}_gain", r.duty), r.gain))
+            .collect(),
         ExperimentOutput::TagWidth(rows) => rows
             .iter()
             .map(|&(w, c)| (format!("width_{w}_mean_capacity"), c))

@@ -21,7 +21,8 @@ use crate::json::{Json, JsonError};
 use midas::experiment::CalibrationGrid;
 use midas::sim::{ContentionModel, ExperimentSpec, FadingEngine, PhysicalConfig, TrafficKind};
 use midas_channel::EnvironmentKind;
-use midas_net::scale::Scenario;
+use midas_net::dynamics::{DynamicsSpec, MobilityModel, ReassociationSpec};
+use midas_net::scale::{AssociationPolicy, Scenario};
 
 /// A decode failure, locating the offending field.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +104,10 @@ pub struct JobSpec {
     pub deadline_ms: Option<u64>,
     /// Stream per-stage wall-clock into the round log.
     pub stage_profiling: bool,
+    /// Long-horizon dynamics layer (session-driven experiments only):
+    /// client mobility and per-round re-association.  `None` keeps the
+    /// static pipeline — and the cache key — byte-identical to older specs.
+    pub dynamics: Option<DynamicsSpec>,
 }
 
 impl JobSpec {
@@ -117,6 +122,7 @@ impl JobSpec {
             threads: None,
             deadline_ms: None,
             stage_profiling: false,
+            dynamics: None,
         }
     }
 
@@ -153,6 +159,7 @@ impl JobSpec {
                 "threads",
                 "deadline_ms",
                 "stage_profiling",
+                "dynamics",
             ],
         )?;
         let experiment = experiment_from_json(field(json, path, "experiment")?, "$.experiment")?;
@@ -181,6 +188,10 @@ impl JobSpec {
             None => false,
             Some(v) => take_bool(v, "$.stage_profiling")?,
         };
+        let dynamics = match opt_field(json, "dynamics") {
+            None => None,
+            Some(v) => Some(dynamics_from_json(v, "$.dynamics")?),
+        };
         Ok(JobSpec {
             experiment,
             seed,
@@ -190,6 +201,7 @@ impl JobSpec {
             threads,
             deadline_ms,
             stage_profiling,
+            dynamics,
         })
     }
 
@@ -227,6 +239,49 @@ impl JobSpec {
                     ),
                 ));
             }
+            if self.dynamics.is_some() {
+                return Err(DecodeError::new(
+                    "$.dynamics",
+                    format!(
+                        "the dynamics layer only applies to session-driven \
+                         experiments; {} runs its own fixed recipe",
+                        self.experiment.name()
+                    ),
+                ));
+            }
+        }
+        if let Some(dynamics) = &self.dynamics {
+            if !(0.0..=1.0).contains(&dynamics.mobile_fraction) {
+                return Err(DecodeError::new(
+                    "$.dynamics.mobile_fraction",
+                    "must be in [0, 1]",
+                ));
+            }
+            if dynamics.period_rounds == 0 {
+                return Err(DecodeError::new(
+                    "$.dynamics.period_rounds",
+                    "must be at least 1",
+                ));
+            }
+            let speed = match dynamics.mobility {
+                Some(MobilityModel::RandomWaypoint { speed_mps, .. })
+                | Some(MobilityModel::CorridorFlow { speed_mps }) => speed_mps,
+                None => 0.0,
+            };
+            if speed.is_nan() || speed < 0.0 {
+                return Err(DecodeError::new(
+                    "$.dynamics.mobility.speed_mps",
+                    "must be non-negative",
+                ));
+            }
+            if let Some(reassociation) = dynamics.reassociation {
+                if reassociation.hysteresis_db.is_nan() || reassociation.hysteresis_db < 0.0 {
+                    return Err(DecodeError::new(
+                        "$.dynamics.reassociation.hysteresis_db",
+                        "must be non-negative",
+                    ));
+                }
+            }
         }
         if self.coherence_interval_rounds == Some(0) {
             return Err(DecodeError::new(
@@ -263,6 +318,72 @@ impl JobSpec {
                 ));
             }
         }
+        if let TrafficKind::Diurnal {
+            low_duty,
+            high_duty,
+            day_rounds,
+            mean_burst_rounds,
+        } = self.traffic
+        {
+            if !(0.0..=1.0).contains(&low_duty) {
+                return Err(DecodeError::new("$.traffic.low_duty", "must be in [0, 1]"));
+            }
+            if !(0.0..=1.0).contains(&high_duty) {
+                return Err(DecodeError::new("$.traffic.high_duty", "must be in [0, 1]"));
+            }
+            if day_rounds < 2 {
+                return Err(DecodeError::new(
+                    "$.traffic.day_rounds",
+                    "must be at least 2",
+                ));
+            }
+            if mean_burst_rounds.is_nan() || mean_burst_rounds <= 0.0 {
+                return Err(DecodeError::new(
+                    "$.traffic.mean_burst_rounds",
+                    "must be positive",
+                ));
+            }
+        }
+        if let TrafficKind::FlashCrowd {
+            base_duty,
+            flash_every_rounds,
+            flash_rounds,
+        } = self.traffic
+        {
+            if !(0.0..=1.0).contains(&base_duty) {
+                return Err(DecodeError::new("$.traffic.base_duty", "must be in [0, 1]"));
+            }
+            if flash_every_rounds < 2 {
+                return Err(DecodeError::new(
+                    "$.traffic.flash_every_rounds",
+                    "must be at least 2",
+                ));
+            }
+            if flash_rounds == 0 || flash_rounds > flash_every_rounds {
+                return Err(DecodeError::new(
+                    "$.traffic.flash_rounds",
+                    "must be in [1, flash_every_rounds]",
+                ));
+            }
+        }
+        if let TrafficKind::Churn {
+            attached_fraction,
+            mean_session_rounds,
+        } = self.traffic
+        {
+            if !(0.0..=1.0).contains(&attached_fraction) {
+                return Err(DecodeError::new(
+                    "$.traffic.attached_fraction",
+                    "must be in [0, 1]",
+                ));
+            }
+            if mean_session_rounds.is_nan() || mean_session_rounds < 1.0 {
+                return Err(DecodeError::new(
+                    "$.traffic.mean_session_rounds",
+                    "must be at least 1",
+                ));
+            }
+        }
         if let ExperimentSpec::EnterpriseScaling { scenario, .. } = &self.experiment {
             if Scenario::by_name(scenario.name(), scenario.num_aps()).as_ref() != Some(scenario) {
                 return Err(DecodeError::new(
@@ -289,6 +410,13 @@ impl JobSpec {
             ("threads".into(), opt_uint(self.threads.map(|n| n as u64))),
             ("deadline_ms".into(), opt_uint(self.deadline_ms)),
             ("stage_profiling".into(), Json::Bool(self.stage_profiling)),
+            (
+                "dynamics".into(),
+                match self.dynamics {
+                    Some(d) => dynamics_to_json(&d),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -296,7 +424,7 @@ impl JobSpec {
     /// only, canonically written (sorted keys, no whitespace).  One logical
     /// job, one string — scheduling knobs do not fork the cache.
     pub fn cache_key_material(&self) -> String {
-        Json::Obj(vec![
+        let mut members = vec![
             ("experiment".into(), experiment_to_json(&self.experiment)),
             ("seed".into(), Json::UInt(self.seed)),
             ("engine".into(), engine_to_json(self.engine)),
@@ -305,8 +433,13 @@ impl JobSpec {
                 "coherence_interval_rounds".into(),
                 opt_uint(self.coherence_interval_rounds.map(|n| n as u64)),
             ),
-        ])
-        .write_canonical()
+        ];
+        // Only when set, so every pre-dynamics spec keeps its pinned
+        // material (and cache id) byte for byte.
+        if let Some(dynamics) = self.dynamics {
+            members.push(("dynamics".into(), dynamics_to_json(&dynamics)));
+        }
+        Json::Obj(members).write_canonical()
     }
 
     /// The job id: the first 16 hex chars (64 bits) of the SHA-256 of
@@ -467,6 +600,39 @@ fn traffic_to_json(traffic: TrafficKind) -> Json {
                 Json::Num(mean_arrivals_per_round),
             ),
         ]),
+        TrafficKind::Diurnal {
+            low_duty,
+            high_duty,
+            day_rounds,
+            mean_burst_rounds,
+        } => Json::Obj(vec![
+            ("model".into(), Json::Str("diurnal".into())),
+            ("low_duty".into(), Json::Num(low_duty)),
+            ("high_duty".into(), Json::Num(high_duty)),
+            ("day_rounds".into(), Json::UInt(day_rounds as u64)),
+            ("mean_burst_rounds".into(), Json::Num(mean_burst_rounds)),
+        ]),
+        TrafficKind::FlashCrowd {
+            base_duty,
+            flash_every_rounds,
+            flash_rounds,
+        } => Json::Obj(vec![
+            ("model".into(), Json::Str("flash_crowd".into())),
+            ("base_duty".into(), Json::Num(base_duty)),
+            (
+                "flash_every_rounds".into(),
+                Json::UInt(flash_every_rounds as u64),
+            ),
+            ("flash_rounds".into(), Json::UInt(flash_rounds as u64)),
+        ]),
+        TrafficKind::Churn {
+            attached_fraction,
+            mean_session_rounds,
+        } => Json::Obj(vec![
+            ("model".into(), Json::Str("churn".into())),
+            ("attached_fraction".into(), Json::Num(attached_fraction)),
+            ("mean_session_rounds".into(), Json::Num(mean_session_rounds)),
+        ]),
     }
 }
 
@@ -496,11 +662,71 @@ fn traffic_from_json(v: &Json, path: &str) -> Result<TrafficKind, DecodeError> {
                 )?,
             })
         }
+        "diurnal" => {
+            check_keys(
+                v,
+                path,
+                &[
+                    "model",
+                    "low_duty",
+                    "high_duty",
+                    "day_rounds",
+                    "mean_burst_rounds",
+                ],
+            )?;
+            Ok(TrafficKind::Diurnal {
+                low_duty: take_f64(field(v, path, "low_duty")?, &format!("{path}.low_duty"))?,
+                high_duty: take_f64(field(v, path, "high_duty")?, &format!("{path}.high_duty"))?,
+                day_rounds: take_usize(
+                    field(v, path, "day_rounds")?,
+                    &format!("{path}.day_rounds"),
+                )?,
+                mean_burst_rounds: take_f64(
+                    field(v, path, "mean_burst_rounds")?,
+                    &format!("{path}.mean_burst_rounds"),
+                )?,
+            })
+        }
+        "flash_crowd" => {
+            check_keys(
+                v,
+                path,
+                &["model", "base_duty", "flash_every_rounds", "flash_rounds"],
+            )?;
+            Ok(TrafficKind::FlashCrowd {
+                base_duty: take_f64(field(v, path, "base_duty")?, &format!("{path}.base_duty"))?,
+                flash_every_rounds: take_usize(
+                    field(v, path, "flash_every_rounds")?,
+                    &format!("{path}.flash_every_rounds"),
+                )?,
+                flash_rounds: take_usize(
+                    field(v, path, "flash_rounds")?,
+                    &format!("{path}.flash_rounds"),
+                )?,
+            })
+        }
+        "churn" => {
+            check_keys(
+                v,
+                path,
+                &["model", "attached_fraction", "mean_session_rounds"],
+            )?;
+            Ok(TrafficKind::Churn {
+                attached_fraction: take_f64(
+                    field(v, path, "attached_fraction")?,
+                    &format!("{path}.attached_fraction"),
+                )?,
+                mean_session_rounds: take_f64(
+                    field(v, path, "mean_session_rounds")?,
+                    &format!("{path}.mean_session_rounds"),
+                )?,
+            })
+        }
         other => Err(DecodeError::new(
             &model_path,
             format!(
-                "unknown traffic model {other:?} (expected \"full_buffer\", \"on_off\" or \
-                 \"poisson\")"
+                "unknown traffic model {other:?} (expected \"full_buffer\", \"on_off\", \
+                 \"poisson\", \"diurnal\", \"flash_crowd\" or \"churn\")"
             ),
         )),
     }
@@ -597,6 +823,180 @@ fn contention_from_json(v: &Json, path: &str) -> Result<ContentionModel, DecodeE
 }
 
 // ---------------------------------------------------------------------------
+// Dynamics codec
+
+/// Encodes a dynamics layer as
+/// `{"mobility": ..., "mobile_fraction": ..., "reassociation": ...,
+/// "period_rounds": ...}` with `null` for absent sub-layers.
+pub fn dynamics_to_json(spec: &DynamicsSpec) -> Json {
+    let mobility = match spec.mobility {
+        None => Json::Null,
+        Some(MobilityModel::RandomWaypoint {
+            speed_mps,
+            pause_rounds,
+        }) => Json::Obj(vec![
+            ("model".into(), Json::Str("random_waypoint".into())),
+            ("speed_mps".into(), Json::Num(speed_mps)),
+            ("pause_rounds".into(), Json::UInt(pause_rounds as u64)),
+        ]),
+        Some(MobilityModel::CorridorFlow { speed_mps }) => Json::Obj(vec![
+            ("model".into(), Json::Str("corridor_flow".into())),
+            ("speed_mps".into(), Json::Num(speed_mps)),
+        ]),
+    };
+    let reassociation = match spec.reassociation {
+        None => Json::Null,
+        Some(ReassociationSpec {
+            policy,
+            hysteresis_db,
+        }) => {
+            let mut members = vec![(
+                "policy".to_string(),
+                Json::Str(
+                    match policy {
+                        AssociationPolicy::NearestAp => "nearest_ap",
+                        AssociationPolicy::AntennaAware => "antenna_aware",
+                        AssociationPolicy::LoadBalanced { .. } => "load_balanced",
+                    }
+                    .into(),
+                ),
+            )];
+            if let AssociationPolicy::LoadBalanced { hysteresis_db } = policy {
+                members.push(("load_hysteresis_db".into(), Json::Num(hysteresis_db)));
+            }
+            members.push(("hysteresis_db".into(), Json::Num(hysteresis_db)));
+            Json::Obj(members)
+        }
+    };
+    Json::Obj(vec![
+        ("mobility".into(), mobility),
+        ("mobile_fraction".into(), Json::Num(spec.mobile_fraction)),
+        ("reassociation".into(), reassociation),
+        (
+            "period_rounds".into(),
+            Json::UInt(spec.period_rounds as u64),
+        ),
+    ])
+}
+
+/// Decodes the [`dynamics_to_json`] form back into a [`DynamicsSpec`].
+pub fn dynamics_from_json(v: &Json, path: &str) -> Result<DynamicsSpec, DecodeError> {
+    check_keys(
+        v,
+        path,
+        &[
+            "mobility",
+            "mobile_fraction",
+            "reassociation",
+            "period_rounds",
+        ],
+    )?;
+    let mobility = match opt_field(v, "mobility") {
+        None => None,
+        Some(m) => {
+            let mobility_path = format!("{path}.mobility");
+            let model_path = format!("{mobility_path}.model");
+            let speed_path = format!("{mobility_path}.speed_mps");
+            Some(
+                match take_str(field(m, &mobility_path, "model")?, &model_path)? {
+                    "random_waypoint" => {
+                        check_keys(m, &mobility_path, &["model", "speed_mps", "pause_rounds"])?;
+                        MobilityModel::RandomWaypoint {
+                            speed_mps: take_f64(
+                                field(m, &mobility_path, "speed_mps")?,
+                                &speed_path,
+                            )?,
+                            pause_rounds: take_usize(
+                                field(m, &mobility_path, "pause_rounds")?,
+                                &format!("{mobility_path}.pause_rounds"),
+                            )?,
+                        }
+                    }
+                    "corridor_flow" => {
+                        check_keys(m, &mobility_path, &["model", "speed_mps"])?;
+                        MobilityModel::CorridorFlow {
+                            speed_mps: take_f64(
+                                field(m, &mobility_path, "speed_mps")?,
+                                &speed_path,
+                            )?,
+                        }
+                    }
+                    other => {
+                        return Err(DecodeError::new(
+                            &model_path,
+                            format!(
+                                "unknown mobility model {other:?} (expected \
+                                 \"random_waypoint\" or \"corridor_flow\")"
+                            ),
+                        ))
+                    }
+                },
+            )
+        }
+    };
+    let mobile_fraction = match opt_field(v, "mobile_fraction") {
+        None => 1.0,
+        Some(f) => take_f64(f, &format!("{path}.mobile_fraction"))?,
+    };
+    let reassociation = match opt_field(v, "reassociation") {
+        None => None,
+        Some(r) => {
+            let reassoc_path = format!("{path}.reassociation");
+            let policy_path = format!("{reassoc_path}.policy");
+            let policy = match take_str(field(r, &reassoc_path, "policy")?, &policy_path)? {
+                "nearest_ap" => {
+                    check_keys(r, &reassoc_path, &["policy", "hysteresis_db"])?;
+                    AssociationPolicy::NearestAp
+                }
+                "antenna_aware" => {
+                    check_keys(r, &reassoc_path, &["policy", "hysteresis_db"])?;
+                    AssociationPolicy::AntennaAware
+                }
+                "load_balanced" => {
+                    check_keys(
+                        r,
+                        &reassoc_path,
+                        &["policy", "load_hysteresis_db", "hysteresis_db"],
+                    )?;
+                    AssociationPolicy::LoadBalanced {
+                        hysteresis_db: take_f64(
+                            field(r, &reassoc_path, "load_hysteresis_db")?,
+                            &format!("{reassoc_path}.load_hysteresis_db"),
+                        )?,
+                    }
+                }
+                other => {
+                    return Err(DecodeError::new(
+                        &policy_path,
+                        format!(
+                            "unknown association policy {other:?} (expected \"nearest_ap\", \
+                             \"antenna_aware\" or \"load_balanced\")"
+                        ),
+                    ))
+                }
+            };
+            Some(ReassociationSpec {
+                policy,
+                hysteresis_db: take_f64(
+                    field(r, &reassoc_path, "hysteresis_db")?,
+                    &format!("{reassoc_path}.hysteresis_db"),
+                )?,
+            })
+        }
+    };
+    let period_rounds = match opt_field(v, "period_rounds") {
+        None => 1,
+        Some(p) => take_usize(p, &format!("{path}.period_rounds"))?,
+    };
+    Ok(DynamicsSpec {
+        mobility,
+        mobile_fraction,
+        reassociation,
+        period_rounds,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Experiment codec
 
 /// Encodes an experiment as `{"kind": <figure slug>, ...fields}` — the slug
@@ -687,6 +1087,20 @@ pub fn experiment_to_json(spec: &ExperimentSpec) -> Json {
             push("aps", Json::UInt(scenario.num_aps() as u64));
             push("topologies", Json::UInt(*topologies as u64));
             push("rounds", Json::UInt(*rounds as u64));
+        }
+        ExperimentSpec::LoadVsGain {
+            duty_cycles,
+            topologies,
+            rounds,
+            speed_mps,
+        } => {
+            push(
+                "duty_cycles",
+                Json::Arr(duty_cycles.iter().map(|&d| Json::Num(d)).collect()),
+            );
+            push("topologies", Json::UInt(*topologies as u64));
+            push("rounds", Json::UInt(*rounds as u64));
+            push("speed_mps", Json::Num(*speed_mps));
         }
         ExperimentSpec::TagWidth { widths, topologies } => {
             push(
@@ -855,6 +1269,22 @@ pub fn experiment_from_json(v: &Json, path: &str) -> Result<ExperimentSpec, Deco
                 rounds: req_usize("rounds")?,
             }
         }
+        "load_vs_gain" => {
+            check_keys(
+                v,
+                path,
+                &["kind", "duty_cycles", "topologies", "rounds", "speed_mps"],
+            )?;
+            ExperimentSpec::LoadVsGain {
+                duty_cycles: f64_list(
+                    field(v, path, "duty_cycles")?,
+                    &format!("{path}.duty_cycles"),
+                )?,
+                topologies: req_usize("topologies")?,
+                rounds: req_usize("rounds")?,
+                speed_mps: take_f64(field(v, path, "speed_mps")?, &format!("{path}.speed_mps"))?,
+            }
+        }
         "ablation_tag_width" => {
             check_keys(v, path, &["kind", "widths", "topologies"])?;
             ExperimentSpec::TagWidth {
@@ -945,6 +1375,12 @@ mod tests {
                 topologies: 3,
                 rounds: 10,
             },
+            ExperimentSpec::LoadVsGain {
+                duty_cycles: vec![0.1, 0.5, 1.0],
+                topologies: 4,
+                rounds: 12,
+                speed_mps: 1.2,
+            },
             ExperimentSpec::TagWidth {
                 widths: vec![1, 2, 4],
                 topologies: 60,
@@ -983,6 +1419,78 @@ mod tests {
         let text = spec.to_json().write_pretty();
         let back = JobSpec::from_json_str(&text).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn dynamic_traffic_models_round_trip_through_json() {
+        for traffic in [
+            TrafficKind::Diurnal {
+                low_duty: 0.1,
+                high_duty: 0.9,
+                day_rounds: 200,
+                mean_burst_rounds: 4.0,
+            },
+            TrafficKind::FlashCrowd {
+                base_duty: 0.2,
+                flash_every_rounds: 50,
+                flash_rounds: 5,
+            },
+            TrafficKind::Churn {
+                attached_fraction: 0.7,
+                mean_session_rounds: 30.0,
+            },
+        ] {
+            let mut spec = JobSpec::new(ExperimentSpec::fig15(), 3);
+            spec.traffic = traffic;
+            let back = JobSpec::from_json_str(&spec.to_json().write_pretty()).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn dynamics_knob_round_trips_and_forks_the_cache_key_only_when_set() {
+        let mut spec = JobSpec::new(ExperimentSpec::fig15(), 5);
+        // Absent dynamics must leave the pre-dynamics material untouched —
+        // the key "dynamics" may not even appear.
+        assert!(!spec.cache_key_material().contains("dynamics"));
+        let static_key = spec.cache_key();
+
+        spec.dynamics = Some(DynamicsSpec {
+            mobility: Some(MobilityModel::RandomWaypoint {
+                speed_mps: 1.2,
+                pause_rounds: 3,
+            }),
+            mobile_fraction: 0.5,
+            reassociation: Some(ReassociationSpec {
+                policy: AssociationPolicy::LoadBalanced { hysteresis_db: 6.0 },
+                hysteresis_db: 3.0,
+            }),
+            period_rounds: 2,
+        });
+        let back = JobSpec::from_json_str(&spec.to_json().write_pretty()).unwrap();
+        assert_eq!(back, spec);
+        assert_ne!(spec.cache_key(), static_key, "dynamics must fork the key");
+
+        // Corridor flow + simple policies round-trip too.
+        spec.dynamics = Some(DynamicsSpec {
+            mobility: Some(MobilityModel::CorridorFlow { speed_mps: 0.8 }),
+            mobile_fraction: 1.0,
+            reassociation: Some(ReassociationSpec {
+                policy: AssociationPolicy::AntennaAware,
+                hysteresis_db: 3.0,
+            }),
+            period_rounds: 1,
+        });
+        let back = JobSpec::from_json_str(&spec.to_json().write_pretty()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn dynamics_on_a_non_session_experiment_is_rejected() {
+        let mut spec = JobSpec::new(ExperimentSpec::fig07(), 1);
+        spec.dynamics = Some(DynamicsSpec::roaming_walk(1.0));
+        let err = JobSpec::from_json_str(&spec.to_json().write_pretty()).unwrap_err();
+        assert!(err.to_string().contains("$.dynamics"), "{err}");
     }
 
     #[test]

@@ -337,3 +337,95 @@ fn status_lifecycle_timestamps_are_ordered() {
     assert_eq!(reread, spec);
     std::fs::remove_dir_all(&jobs).ok();
 }
+
+/// A single long trial with many rounds: a mid-trial deadline must cut the
+/// run at a *round* boundary, not wait for the trial to finish.
+#[test]
+fn mid_trial_deadline_cancels_at_round_granularity() {
+    let jobs = scratch("deadline-rounds");
+    let rounds = 5_000usize;
+    let mut doomed = JobSpec::new(
+        ExperimentSpec::EndToEnd {
+            eight_aps: false,
+            topologies: 1,
+            rounds,
+            contention: ContentionModel::Graph,
+        },
+        51,
+    );
+    doomed.deadline_ms = Some(50); // expires well inside the first trial
+
+    let queue = JobQueue::new(jobs.clone(), 1).unwrap();
+    let job = queue.submit(doomed).unwrap();
+    assert_eq!(job.wait(), JobOutcome::TimedOut);
+    queue.drain();
+
+    let status = StatusRecord::read(job.dir()).unwrap();
+    assert_eq!(status.state, JobState::Timeout);
+    assert!(!job.dir().join("result.json").exists());
+
+    // Trial-granular cancellation would have logged the complete
+    // 2 × (1 header + rounds) lines before noticing the deadline; the
+    // round-granular probe stops the session partway through.
+    let full = 2 * (1 + rounds);
+    let logged = std::fs::read_to_string(job.dir().join("rounds.jsonl"))
+        .map(|text| text.lines().count())
+        .unwrap_or(0);
+    assert!(
+        logged < full,
+        "expected a truncated round log, got all {logged} lines"
+    );
+    std::fs::remove_dir_all(&jobs).ok();
+}
+
+/// `gc` while a job is executing must not delete the directory out from
+/// under the worker: in-flight ids are excluded from collection.
+#[test]
+fn gc_during_a_running_job_keeps_its_directory() {
+    let jobs = scratch("gc-live");
+    let spec = JobSpec::new(
+        ExperimentSpec::EndToEnd {
+            eight_aps: false,
+            topologies: 1,
+            rounds: 2_000,
+            contention: ContentionModel::Graph,
+        },
+        61,
+    );
+
+    let queue = JobQueue::new(jobs.clone(), 1).unwrap();
+    let job = queue.submit(spec).unwrap();
+
+    // Wait until the worker has picked the job up and marked it running.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        match StatusRecord::read(job.dir()) {
+            Some(status) if status.state == JobState::Running => break,
+            Some(status) if status.state != JobState::Queued => {
+                panic!("job finished ({:?}) before gc could race it", status.state)
+            }
+            _ => {}
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "job never reached Running"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    // Aggressive collection mid-run: the live job must survive.
+    let report = queue.gc(true).unwrap();
+    assert_eq!(report.removed, 0);
+    assert_eq!(report.kept, 1);
+    assert!(job.dir().exists(), "gc deleted a running job's directory");
+
+    // `wait` returns only after the worker has retired the job from the
+    // in-flight table, so `gc --all` now reaps it like any other entry.
+    assert!(matches!(job.wait(), JobOutcome::Done { .. }));
+    assert!(job.dir().join("result.json").exists());
+    let report = queue.gc(true).unwrap();
+    assert_eq!(report.removed, 1);
+    assert!(!job.dir().exists());
+    queue.drain();
+    std::fs::remove_dir_all(&jobs).ok();
+}
