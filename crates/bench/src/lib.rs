@@ -11,6 +11,8 @@
 //! as diffable CSV and JSON files, so regenerated curves can be compared
 //! against the paper's published ones automatically.
 
+#![forbid(unsafe_code)]
+
 pub mod figure;
 pub mod sink;
 

@@ -590,9 +590,9 @@ mod tests {
         let antennas = &topo.aps[0].antennas;
         let new_pos = Point::new(11.5, 7.25);
         model.refresh_large_scale_row(&mut ch, 1, antennas, &new_pos);
-        for k in 0..ch.num_antennas() {
+        for (k, antenna) in antennas.iter().enumerate() {
             // The new gains are exactly the frozen field at the new position.
-            let expected_dbm = model.large_scale_rx_power_dbm(&antennas[k], &new_pos);
+            let expected_dbm = model.large_scale_rx_power_dbm(antenna, &new_pos);
             assert!((ch.mean_rssi_dbm(1, k) - expected_dbm).abs() < 1e-9);
             // The unit-power fading coefficient carried over unchanged.
             let f_old = before.h.get(1, k).scale(1.0 / before.large_scale.get(1, k));

@@ -28,6 +28,7 @@
 //! The crate knows nothing about precoding or MAC behaviour; it only models
 //! propagation.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

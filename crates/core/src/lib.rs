@@ -38,6 +38,7 @@
 //! assert!(outcome.cas_capacity > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -39,6 +39,7 @@
 //! assert!(prod.get(0, 1).norm() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -1,0 +1,86 @@
+//! The `midas-lint` binary: front door of the static-analysis pass.
+//!
+//! ```text
+//! midas-lint [--root DIR] [--json PATH] [--quiet]
+//! midas-lint --list-rules
+//! ```
+//!
+//! Deny mode is the only mode: any finding without a reasoned
+//! `// lint: allow(...)` pragma exits 1 (CI treats that as a blocking
+//! failure).  The machine-readable report is always written — to `--json`
+//! if given, else `<root>/target/lint.json`.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use midas_lint::{find_workspace_root, lint_workspace, rules::RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("midas-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_cli(args: &[String]) -> Result<ExitCode, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--root" => root = Some(PathBuf::from(value_of("--root")?)),
+            "--json" => json = Some(PathBuf::from(value_of("--json")?)),
+            "--quiet" => quiet = true,
+            "--list-rules" => {
+                for (name, description) in RULES {
+                    println!("{name:18} {description}");
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--help" | "-h" => {
+                println!("usage: midas-lint [--root DIR] [--json PATH] [--quiet] [--list-rules]");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            find_workspace_root(&cwd)
+                .ok_or_else(|| "no workspace root found above the current directory".to_string())?
+        }
+    };
+    let report = lint_workspace(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+
+    let json_path = json.unwrap_or_else(|| root.join("target").join("lint.json"));
+    if let Some(parent) = json_path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+    }
+    std::fs::write(&json_path, report.to_json()).map_err(|e| e.to_string())?;
+
+    if !quiet || !report.is_clean() {
+        print!("{}", report.human());
+        eprintln!("report written to {}", json_path.display());
+    }
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

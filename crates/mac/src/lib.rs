@@ -27,6 +27,7 @@
 //! RSSI-based antenna preferences that the network layer (`midas-net`)
 //! derives from `midas-channel`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -31,6 +31,7 @@
 //!   client-association policies, and the named scenario library.
 //! * [`metrics`] — CDFs and summary statistics used by every experiment.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

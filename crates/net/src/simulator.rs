@@ -316,6 +316,8 @@ impl StageTimings {
 /// clock" primitive.
 #[inline]
 fn tick(enabled: bool) -> Option<Instant> {
+    // lint: allow(wall-clock) — stage profiling only: `tick` returns None (and the
+    // hot path never reads a clock) unless `with_stage_profiling` was requested.
     enabled.then(Instant::now)
 }
 
@@ -975,6 +977,7 @@ impl NetworkSimulator {
     /// engine evolves later in the round — lazily, once the plan and gather
     /// stages have determined which rows the round reads (see
     /// [`counter_fading_stage`](Self::counter_fading_stage)).
+    // lint: no_alloc — steady-state stage: scratch lives in RoundWorkspace (PR 6 footprint pin)
     fn evolve_stage(&mut self, round: usize) {
         if self.config.fading != FadingEngine::Legacy {
             return;
@@ -996,6 +999,7 @@ impl NetworkSimulator {
     /// engine can bring the selected rows up to date in between; sensing
     /// and selection never read small-scale fading (tags and DRR run on
     /// large-scale RSSI), so the split is invisible to the legacy engine.
+    // lint: no_alloc — steady-state stage: scratch lives in RoundWorkspace (PR 6 footprint pin)
     fn plan_stage(&mut self, round: usize, ws: &mut RoundWorkspace) {
         let num_aps = self.topo.aps.len();
         let cutoff = self.config.interaction_range_m;
@@ -1136,6 +1140,7 @@ impl NetworkSimulator {
     /// antennas is within the interaction range; both scan modes apply that
     /// rule and visit interferers in transmission order, so the stored
     /// lists are bit-identical between them.
+    // lint: no_alloc — steady-state stage: scratch lives in RoundWorkspace (PR 6 footprint pin)
     fn gather_stage(&self, ws: &mut RoundWorkspace) {
         let cutoff = self.config.interaction_range_m;
         let RoundWorkspace {
@@ -1210,6 +1215,7 @@ impl NetworkSimulator {
     /// `config.evolve_threads` workers: phase A computes evolved rows into
     /// disjoint scratch segments in parallel, phase B copies them back
     /// serially — no draw order exists to violate.
+    // lint: no_alloc — steady-state stage: scratch lives in RoundWorkspace (PR 6 footprint pin)
     fn counter_fading_stage(&mut self, round: usize, ws: &mut RoundWorkspace) {
         if self.config.fading != FadingEngine::Counter {
             return;
@@ -1340,6 +1346,9 @@ impl NetworkSimulator {
                 let my_jobs = &jobs[job_lo..job_hi];
                 let my_offsets = &job_offsets[job_lo..=job_hi];
                 scope.spawn(move || {
+                    // lint: allow(no-alloc-stage) — per-worker Box–Muller carry scratch, local to the
+                    // parallel-evolve thread scope; only allocated when evolve_threads > 1 asks for
+                    // intra-trial parallelism, and sized O(1) (one cached Gaussian pair per worker).
                     let mut pairs = Vec::new();
                     for (i, &(ap, client)) in my_jobs.iter().enumerate() {
                         let apch = &channels[ap as usize];
@@ -1389,6 +1398,7 @@ impl NetworkSimulator {
     /// Runs after the fading stage so it reads the current round's channel
     /// state; the precoder is pure (no RNG), so extracting it from the plan
     /// loop leaves the legacy engine's outputs untouched.
+    // lint: no_alloc — steady-state stage: scratch lives in RoundWorkspace (PR 6 footprint pin)
     fn precode_stage(&self, ws: &mut RoundWorkspace) {
         let RoundWorkspace {
             transmissions,
@@ -1406,6 +1416,7 @@ impl NetworkSimulator {
     /// cross-AP interference, filling `ws.capacities` with
     /// `(client, serving AP, capacity)` triples.  Interferers come from the
     /// lists the gather stage stored, replayed in stream order.
+    // lint: no_alloc — steady-state stage: scratch lives in RoundWorkspace (PR 6 footprint pin)
     fn evaluate_stage(&self, ws: &mut RoundWorkspace) {
         let RoundWorkspace {
             transmissions,
@@ -1501,6 +1512,7 @@ impl NetworkSimulator {
     /// the workspace's prebuilt `local_of` table, and the unserved complement
     /// is read off a reusable bitmask — O(clients) instead of the former
     /// O(clients²) `contains` sweep.
+    // lint: no_alloc — steady-state stage: scratch lives in RoundWorkspace (PR 6 footprint pin)
     fn settle_stage(&mut self, ws: &mut RoundWorkspace) {
         for t in &ws.transmissions[..ws.live] {
             let n_local = ws.own_clients[t.ap_id].len();

@@ -374,7 +374,7 @@ impl FlashCrowd {
         let epoch = round / self.flash_every_rounds;
         // An event jittered late in epoch k-1 can spill into epoch k.
         for k in epoch.saturating_sub(1)..=epoch {
-            let jitter = SimRng::new(self.seed ^ 0xF1A5_C0)
+            let jitter = SimRng::new(self.seed ^ 0x00F1_A5C0)
                 .fork(k as u64)
                 .uniform_usize(self.flash_every_rounds / 2 + 1);
             let start = k * self.flash_every_rounds + jitter;

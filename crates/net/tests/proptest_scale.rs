@@ -314,6 +314,8 @@ fn a_64_ap_512_client_scenario_completes_quickly() {
     let scenario = Scenario::enterprise_office(64);
     assert_eq!(scenario.num_aps(), 64);
     assert_eq!(scenario.num_clients(), 512);
+    // lint: allow(wall-clock) — test-side perf guard: times the brute-force sweep to
+    // assert the spatial index is not slower; never feeds a simulation result.
     let start = std::time::Instant::now();
     let pair = scenario.build(1).expect("64-AP scenario builds");
     let mut sim = NetworkSimulator::new(pair.das, scenario.sim_config(MacKind::Midas, 10, 1));

@@ -24,6 +24,7 @@
 //! and the 802.11ac sounding process with CSI error and staleness
 //! ([`sounding`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

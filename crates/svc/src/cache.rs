@@ -7,7 +7,7 @@
 //! are cache hits; `gc` removes the rest (failed, cancelled, timed-out and
 //! torn directories), or everything with `all`.
 
-use std::collections::HashSet;
+use std::collections::HashSet; // lint: allow(map-order) — GC liveness set: membership queries only, never iterated into results
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -89,13 +89,14 @@ pub struct GcReport {
 /// the jobs that are queued or running so their directories are never
 /// deleted out from under a worker.
 pub fn gc(jobs_dir: &Path, all: bool) -> io::Result<GcReport> {
-    gc_excluding(jobs_dir, all, &HashSet::new())
+    gc_excluding(jobs_dir, all, &HashSet::new()) // lint: allow(map-order) — empty liveness set for the no-exclusions path; order-free
 }
 
 /// [`gc`] with a live set: any id in `live` is kept regardless of its
 /// on-disk state.  A queued or running job's `status.json` says `queued` /
 /// `running` — exactly what plain `gc` reaps — so the queue passes its
 /// in-flight ids here to keep collection safe while jobs execute.
+// lint: allow(map-order) — membership-only liveness parameter; order-free
 pub fn gc_excluding(jobs_dir: &Path, all: bool, live: &HashSet<String>) -> io::Result<GcReport> {
     let mut report = GcReport::default();
     for entry in ls(jobs_dir)? {

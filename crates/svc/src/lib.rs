@@ -25,6 +25,8 @@
 //! The `midas` binary (this crate's `src/main.rs`) fronts it all:
 //! `midas run spec.json`, `midas batch specs/`, `midas cache {ls,gc}`.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod hash;
 pub mod json;

@@ -11,6 +11,8 @@
 //! Exit codes: 0 success, 2 usage, 3 invalid spec, 4 job did not complete
 //! (failed / cancelled / timeout).
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::ExitCode;
 

@@ -14,7 +14,7 @@
 //! * **Graceful drain** — [`JobQueue::drain`] lets queued jobs finish, then
 //!   joins every worker.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque}; // lint: allow(map-order) — job-id → handle registry: looked up by key, never iterated into results
 use std::fs;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -132,7 +132,7 @@ struct Shared {
     available: Condvar,
     shutdown: AtomicBool,
     /// Jobs currently queued or running, by id — the dedup table.
-    inflight: Mutex<HashMap<String, Arc<Job>>>,
+    inflight: Mutex<HashMap<String, Arc<Job>>>, // lint: allow(map-order) — keyed lookup of in-flight jobs; result bytes come from the runner, not from iterating this map
 }
 
 /// The bounded worker pool.  Dropping the queue without calling
@@ -168,7 +168,7 @@ impl JobQueue {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            inflight: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()), // lint: allow(map-order) — see the field: scheduling-side registry
         });
         let workers = (0..workers.max(1))
             .map(|i| {
@@ -246,7 +246,7 @@ impl JobQueue {
     /// [`submit`]: JobQueue::submit
     pub fn gc(&self, all: bool) -> io::Result<crate::cache::GcReport> {
         let inflight = self.shared.inflight.lock().expect("inflight lock");
-        let live: std::collections::HashSet<String> = inflight.keys().cloned().collect();
+        let live: std::collections::HashSet<String> = inflight.keys().cloned().collect(); // lint: allow(map-order) — GC liveness set: membership queries only, order-free
         crate::cache::gc_excluding(&self.shared.jobs_dir, all, &live)
     }
 
@@ -265,7 +265,7 @@ impl JobQueue {
 /// exists, bumps the hit counters in `status.json`, and returns a finished
 /// handle.  `None` means miss (absent, unreadable, or not `done`).
 fn serve_from_cache(id: &str, spec: &JobSpec, dir: &Path) -> Option<Arc<Job>> {
-    let serve_start = Instant::now();
+    let serve_start = Instant::now(); // lint: allow(wall-clock) — times the cache-hit serve for status.json `served_ms`; not part of the content-addressed result
     let mut status = StatusRecord::read(dir)?;
     if status.state != JobState::Done || !dir.join("result.json").exists() {
         return None;
@@ -320,10 +320,10 @@ fn execute(job: &Job) -> JobOutcome {
 
     if let Some(deadline_ms) = job.spec.deadline_ms {
         job.token
-            .set_deadline(Instant::now() + Duration::from_millis(deadline_ms));
+            .set_deadline(Instant::now() + Duration::from_millis(deadline_ms)); // lint: allow(wall-clock) — converts the per-job deadline knob to an absolute instant; scheduling-side
     }
 
-    let start = Instant::now();
+    let start = Instant::now(); // lint: allow(wall-clock) — times the fresh compute for status.json `wall_ms`; not part of the content-addressed result
     let result = catch_unwind(AssertUnwindSafe(|| {
         run_job(&job.spec, &job.dir, &job.token)
     }));

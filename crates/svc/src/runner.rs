@@ -87,6 +87,8 @@ impl CancelToken {
         }
         let deadline = *self.inner.deadline.lock().expect("deadline lock");
         match deadline {
+            // lint: allow(wall-clock) — deadline check: decides *whether* the job keeps
+            // running, never what a completed result contains (timeouts produce no result.json).
             Some(d) if Instant::now() >= d => Some(StopReason::DeadlineExceeded),
             _ => None,
         }
@@ -616,7 +618,7 @@ mod tests {
     fn token_reports_cancellation_then_deadline() {
         let token = CancelToken::new();
         assert_eq!(token.stop_reason(), None);
-        token.set_deadline(Instant::now() - std::time::Duration::from_millis(1));
+        token.set_deadline(Instant::now() - std::time::Duration::from_millis(1)); // lint: allow(wall-clock) — test constructs an already-expired deadline
         assert_eq!(token.stop_reason(), Some(StopReason::DeadlineExceeded));
         token.cancel();
         assert_eq!(token.stop_reason(), Some(StopReason::Cancelled));

@@ -188,6 +188,8 @@ impl StatusRecord {
 
 /// Milliseconds since the unix epoch.
 pub fn unix_ms() -> u64 {
+    // lint: allow(wall-clock) — human-facing status.json timestamps; status.json is
+    // excluded from the content address, so this can never fork the cache key.
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_millis() as u64)

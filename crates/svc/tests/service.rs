@@ -397,7 +397,7 @@ fn gc_during_a_running_job_keeps_its_directory() {
     let job = queue.submit(spec).unwrap();
 
     // Wait until the worker has picked the job up and marked it running.
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30); // lint: allow(wall-clock) — test-side polling deadline
     loop {
         match StatusRecord::read(job.dir()) {
             Some(status) if status.state == JobState::Running => break,
@@ -407,7 +407,7 @@ fn gc_during_a_running_job_keeps_its_directory() {
             _ => {}
         }
         assert!(
-            std::time::Instant::now() < deadline,
+            std::time::Instant::now() < deadline, // lint: allow(wall-clock) — test-side polling deadline
             "job never reached Running"
         );
         std::thread::sleep(std::time::Duration::from_millis(1));

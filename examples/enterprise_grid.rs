@@ -30,9 +30,9 @@ fn main() {
             scenario.num_clients(),
             env.interaction_range_m(midas_net::scale::scenario::INTERACTION_MARGIN_DB),
         );
-        let start = std::time::Instant::now();
-        // One session trial = one paired floor realisation; the session
-        // carries the scenario's finite-interaction-range simulator config.
+        let start = std::time::Instant::now(); // lint: allow(wall-clock) — example prints its own wall time; output is narrative, not a figure
+                                               // One session trial = one paired floor realisation; the session
+                                               // carries the scenario's finite-interaction-range simulator config.
         let session = SessionBuilder::new(scenario).rounds(rounds).build();
         let trial = session.trial(0, seed);
         let cas = trial.simulate(MacKind::Cas);

@@ -5,4 +5,6 @@
 //! the workspace crates (`midas`, `midas-phy`, `midas-mac`, `midas-net`,
 //! `midas-channel`, `midas-linalg`).
 
+#![forbid(unsafe_code)]
+
 pub use midas;
